@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments train models and evaluate corpora; repeating them
+    for statistical timing would multiply hours of work for no insight,
+    so every paper-artifact benchmark is a single timed round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one table or figure of the paper at the
+scale selected by ``$REPRO_SCALE`` (tiny / small / full; default
+small).  Heavy artifacts (corpus, trained models) are cached in the
+process-wide :func:`repro.experiments.get_context`, so running the full
+benchmark directory trains each model exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import format_table, get_context  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context():
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def shape_checks(context):
+    """Whether paper-shape assertions apply.
+
+    The ``tiny`` preset exists to smoke-test the harness; its models
+    are deliberately undertrained, so only structural assertions run.
+    """
+    return context.scale.name != "tiny"
+
+
+@pytest.fixture
+def report():
+    """Print an experiment table underneath the benchmark output."""
+
+    def _report(rows, title, columns=None):
+        print()
+        print(format_table(rows, columns=columns, title=title))
+        return rows
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

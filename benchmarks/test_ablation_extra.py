@@ -1,0 +1,40 @@
+"""Extra ablations beyond the paper's Exp 7 (DESIGN.md commitments).
+
+* ensemble size (Section IV-A motivates ensembles for certainty),
+* MSLE vs MSE loss (Section IV-A motivates MSLE for wide label
+  ranges),
+* GNN capacity (hidden dimension).
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import (run_capacity, run_ensemble_size,
+                               run_loss_ablation)
+
+
+def test_ablation_ensemble_size(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_ensemble_size(context))
+    report(rows, "Ablation — throughput accuracy vs ensemble size")
+    if not shape_checks:
+        return
+    by_size = {r["ensemble_size"]: r for r in rows}
+    # The ensemble's q95 should not be worse than a lone model's.
+    assert by_size[3]["q95"] <= by_size[1]["q95"] * 1.25
+
+
+def test_ablation_loss(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_loss_ablation(context))
+    report(rows, "Ablation — MSLE vs MSE training loss (throughput)")
+    if not shape_checks:
+        return
+    by_loss = {r["loss"]: r for r in rows}
+    # Labels span orders of magnitude: MSLE must beat raw-label MSE.
+    assert by_loss["MSLE"]["q50"] < by_loss["MSE"]["q50"]
+
+
+def test_ablation_capacity(benchmark, context, report):
+    rows = run_once(benchmark, lambda: run_capacity(context))
+    report(rows, "Ablation — throughput accuracy vs hidden dimension")
+    assert len(rows) == 2
+    assert all(np.isfinite(r["q50"]) for r in rows)

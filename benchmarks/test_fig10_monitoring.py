@@ -1,0 +1,22 @@
+"""Fig. 10 — online-monitoring baseline vs initial placement (Exp 2b).
+
+Paper: the monitoring baseline starts up to 166x slower than COSTREAM's
+initial placement and needs 70s-120s+ of monitoring overhead to become
+competitive (when it does at all).  Expected shape: slow-down >= 1 for
+every run, and a nontrivial monitoring overhead (or never competitive)
+for the overloaded configurations.
+"""
+
+from _harness import run_once
+
+from repro.experiments import run_monitoring
+
+
+def test_fig10_monitoring(benchmark, context, report):
+    rows = run_once(benchmark, lambda: run_monitoring(context))
+    report(rows, "Fig. 10 — slow-down & monitoring overhead vs COSTREAM")
+    assert rows
+    assert all(r["slowdown"] >= 1.0 for r in rows)
+    # Monitoring never beats the learned initial placement instantly:
+    # every run pays either overhead time or never catches up (inf).
+    assert all(r["monitoring_overhead_s"] > 0 for r in rows)

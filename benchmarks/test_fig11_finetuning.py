@@ -1,0 +1,23 @@
+"""Fig. 11 — few-shot fine-tuning on unseen patterns (Exp 5b).
+
+Paper: fine-tuning the throughput model on 3000 extra filter-chain
+queries cuts the 4-filter-chain q50 from 5.51 to 1.61 and the q95 from
+455 to 4.1.  Expected shape: fine-tuning reduces the aggregate q-error
+over the chain lengths.
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_finetuning
+
+
+def test_fig11_finetuning(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_finetuning(context))
+    report(rows, "Fig. 11 — throughput q-error before/after fine-tuning")
+    assert len(rows) == 3
+    if not shape_checks:
+        return
+    initial = float(np.mean([r["initial_q50"] for r in rows]))
+    retrained = float(np.mean([r["retrained_q50"] for r in rows]))
+    assert retrained <= initial * 1.2  # no regression, usually a win

@@ -1,0 +1,21 @@
+"""Fig. 12 — featurization ablation (Exp 7a).
+
+Paper: E2E-latency q50 of 2.6 with query nodes only, 2.22 when host
+nodes (placement) are added, 1.37 with full hardware features.
+Expected shape: monotone improvement from query-only to the full
+scheme.
+"""
+
+from _harness import run_once
+
+from repro.experiments import run_featurization
+
+
+def test_fig12_featurization(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_featurization(context))
+    report(rows, "Fig. 12 — featurization ablation (E2E-latency)")
+    if not shape_checks:
+        return
+    by_mode = {r["featurization"]: r["q50"] for r in rows}
+    assert by_mode["+ hardware features"] <= \
+        by_mode["query nodes only"] * 1.1

@@ -1,0 +1,22 @@
+"""Fig. 13 — message-passing ablation (Exp 7b).
+
+Paper: the staged scheme beats traditional synchronous message passing
+on all regression metrics (e.g. E2E-latency q50 1.37 vs 1.60).
+Expected shape: the staged scheme is at least as accurate overall.
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_message_passing
+
+
+def test_fig13_message_passing(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_message_passing(context))
+    report(rows, "Fig. 13 — staged (ours) vs traditional message passing")
+    assert len(rows) == 3
+    if not shape_checks:
+        return
+    ours = float(np.median([r["ours_q50"] for r in rows]))
+    traditional = float(np.median([r["traditional_q50"] for r in rows]))
+    assert ours <= traditional * 1.15

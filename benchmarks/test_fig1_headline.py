@@ -1,0 +1,26 @@
+"""Fig. 1 — headline E2E-latency q-errors (seen vs unseen).
+
+Paper: COSTREAM 1.37 / 1.59 / 2.17 / 1.41 vs flat vector 13.28 / 63.79
+/ 444.03 / 17.15 for seen queries / unseen hardware / unseen queries /
+unseen benchmark.  Expected shape: COSTREAM's q50 stays moderate in
+all four scenarios while the flat vector degrades sharply on at least
+the unseen-queries axis.
+"""
+
+from _harness import run_once
+
+from repro.experiments import run_headline
+
+
+def test_fig1_headline(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_headline(context))
+    report(rows, "Fig. 1 — headline comparison (E2E-latency q50)")
+    assert [r["scenario"] for r in rows] == [
+        "seen queries", "unseen hardware", "unseen queries",
+        "unseen benchmark"]
+    if not shape_checks:
+        return
+    # COSTREAM wins at least where generalization is required.
+    unseen = [r for r in rows if r["scenario"] != "seen queries"]
+    wins = sum(r["costream_q50"] <= r["flat_q50"] for r in unseen)
+    assert wins >= 2

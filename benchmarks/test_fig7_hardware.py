@@ -1,0 +1,27 @@
+"""Fig. 7 — prediction accuracy over hardware/network ranges (Exp 1).
+
+Paper: median q-error 1.6 or better and accuracy above 85% across all
+CPU/RAM/bandwidth/latency groups.  Expected shape: accuracy stays
+stable (no hardware regime collapses).
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_hardware_groups
+
+
+def test_fig7_hardware_groups(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_hardware_groups(context))
+    report(rows, "Fig. 7 — accuracy grouped by hardware feature ranges")
+    assert {r["dimension"] for r in rows} == \
+        {"cpu", "ram", "bandwidth", "latency"}
+    if not shape_checks:
+        return
+    # Stability: the median q50 over groups stays moderate for every
+    # dimension (groups can be small, so individual cells are noisy).
+    for dimension in ("cpu", "ram", "bandwidth", "latency"):
+        q50s = [r["q50_throughput"] for r in rows
+                if r["dimension"] == dimension and "q50_throughput" in r]
+        assert q50s, f"no groups for {dimension}"
+        assert float(np.median(q50s)) < 8.0

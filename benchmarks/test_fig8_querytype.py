@@ -1,0 +1,21 @@
+"""Fig. 8 — prediction accuracy per query type (Exp 1).
+
+Paper: q-error below 1.6 for all types, slightly increasing with query
+complexity.  Expected shape: every template family predicted with a
+moderate median q-error; no family collapses.
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_query_types
+
+
+def test_fig8_query_types(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_query_types(context))
+    report(rows, "Fig. 8 — accuracy grouped by query type")
+    assert len(rows) >= 4  # all six families unless the split is tiny
+    if not shape_checks:
+        return
+    q50s = [r["q50_throughput"] for r in rows if "q50_throughput" in r]
+    assert float(np.median(q50s)) < 6.0

@@ -1,0 +1,25 @@
+"""Fig. 9 — placement-optimization speed-ups (Exp 2a).
+
+Paper: median Lp speed-ups up to 21.34x for COSTREAM vs up to 9.79x
+for the flat-vector baseline, across six query types.  Expected shape:
+optimizing with the cost model yields a median speed-up >= 1 overall,
+and COSTREAM is at least competitive with the flat baseline.
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_speedups
+
+
+def test_fig9_speedups(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_speedups(context))
+    report(rows, "Fig. 9 — median Lp speed-up over heuristic placement")
+    assert len(rows) == 6
+    if not shape_checks:
+        return
+    costream = [r["costream_speedup"] for r in rows]
+    # Cost-based placement helps overall...
+    assert float(np.median(costream)) >= 1.0
+    # ... and substantially for at least one query family.
+    assert max(costream) > 1.5

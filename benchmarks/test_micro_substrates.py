@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the substrates (throughput of the pipeline).
+
+Not a paper artifact, but the numbers that determine whether the
+reproduction is usable: simulator executions per second, GNN inference
+latency (what the placement optimizer pays per candidate), and
+placement-decision latency end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, build_graph, collate
+from repro.core.model import CostreamGNN
+from repro.data import BenchmarkCollector
+from repro.hardware import sample_cluster
+from repro.placement import HeuristicPlacementEnumerator
+from repro.query import QueryGenerator
+from repro.simulator import DSPSSimulator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    generator = QueryGenerator(seed=rng)
+    cluster = sample_cluster(rng, 6)
+    plans = generator.generate_many(20)
+    enumerator = HeuristicPlacementEnumerator(cluster, seed=rng)
+    placements = [enumerator.sample(plan) for plan in plans]
+    return plans, placements, cluster
+
+
+def test_micro_simulator_throughput(benchmark, workload):
+    """Simulated query executions per benchmark round (20 queries)."""
+    plans, placements, cluster = workload
+    simulator = DSPSSimulator()
+
+    def run():
+        for i, (plan, placement) in enumerate(zip(plans, placements)):
+            simulator.run(plan, placement, cluster, seed=i)
+
+    benchmark(run)
+
+
+def test_micro_gnn_inference(benchmark, workload):
+    """Batched GNN inference over 20 candidate graphs."""
+    plans, placements, cluster = workload
+    featurizer = Featurizer("full")
+    model = CostreamGNN(featurizer, hidden_dim=48, seed=0)
+    graphs = [build_graph(plan, placement, cluster, featurizer)
+              for plan, placement in zip(plans, placements)]
+
+    def run():
+        return model(collate(graphs)).numpy()
+
+    result = benchmark(run)
+    assert result.shape == (20,)
+
+
+def test_micro_corpus_collection(benchmark):
+    """Trace-collection rate (queries executed + featurized)."""
+    def run():
+        return BenchmarkCollector(seed=1).collect(25)
+
+    traces = benchmark(run)
+    assert len(traces) == 25

@@ -1,0 +1,22 @@
+"""Table IV — hardware interpolation (Exp 3).
+
+Paper: COSTREAM q50 1.37-1.59 on unseen in-range hardware, far ahead of
+the flat vector (15.63-63.79).  Expected shape: COSTREAM stays usable
+(moderate q50) and beats the flat baseline at the tail.
+"""
+
+from _harness import run_once
+
+from repro.experiments import run_interpolation
+
+
+def test_table4_interpolation(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_interpolation(context))
+    report(rows, "Table IV — interpolation to unseen in-range hardware")
+    if not shape_checks:
+        return
+    by_metric = {r["metric"]: r for r in rows}
+    for metric in ("Throughput", "E2E-latency", "Processing latency"):
+        row = by_metric[metric]
+        assert row["costream_q50"] < 10.0
+        assert row["costream_q95"] < row["flat_q95"] * 1.5

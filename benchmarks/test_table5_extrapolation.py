@@ -1,0 +1,30 @@
+"""Table V — hardware extrapolation (Exp 4).
+
+For each hardware dimension the model is retrained on a restricted
+range and evaluated beyond it.  Paper: q50 1.42-3.83 towards stronger
+resources, 1.42-6.09 towards weaker ones (network latency being the
+hardest).  Expected shape: predictions remain finite and moderately
+accurate; extrapolation is harder than interpolation but does not
+collapse.
+"""
+
+import numpy as np
+import pytest
+from _harness import run_once
+
+from repro.experiments import run_extrapolation
+
+
+@pytest.mark.parametrize("direction", ["stronger", "weaker"])
+def test_table5_extrapolation(benchmark, context, report, shape_checks,
+                              direction):
+    rows = run_once(benchmark,
+                    lambda: run_extrapolation(context, direction))
+    report(rows, f"Table V — extrapolation towards {direction} resources")
+    assert {r["dimension"] for r in rows} == \
+        {"cpu", "ram", "bandwidth", "latency"}
+    if not shape_checks:
+        return
+    q50s = [r["costream_q50"] for r in rows if "costream_q50" in r]
+    assert np.all(np.isfinite(q50s))
+    assert float(np.median(q50s)) < 12.0

@@ -1,0 +1,23 @@
+"""Table VI A — unseen query patterns: filter chains (Exp 5a).
+
+Paper: COSTREAM q50 1.6-5.5 on 2/3/4-filter chains while the flat
+vector explodes (up to 538 q50) and misclassifies every multi-filter
+query as failing.  Expected shape: COSTREAM degrades gracefully with
+chain length and stays far ahead of the flat baseline.
+"""
+
+from _harness import run_once
+
+from repro.experiments import run_chains
+
+
+def test_table6a_unseen_patterns(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_chains(context))
+    report(rows, "Table VI A — unseen filter-chain patterns")
+    if not shape_checks:
+        return
+    regression = [r for r in rows if "costream_q50" in r]
+    assert regression
+    # COSTREAM wins the tail against the flat baseline on most rows.
+    wins = sum(r["costream_q95"] < r["flat_q95"] for r in regression)
+    assert wins >= len(regression) / 2

@@ -1,0 +1,27 @@
+"""Table VI B — unseen real-world benchmarks (Exp 6).
+
+Paper: COSTREAM q50 1.41-3.67 on advertisement / spike detection /
+smart grid with 100% query-success accuracy, while the flat vector
+shows q50s up to 274 and fails completely on spike detection.
+Expected shape: COSTREAM stays moderate on every benchmark and beats
+the flat baseline overall.
+"""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments import run_benchmarks
+
+
+def test_table6b_unseen_benchmarks(benchmark, context, report, shape_checks):
+    rows = run_once(benchmark, lambda: run_benchmarks(context))
+    report(rows, "Table VI B — unseen DSPBench-style benchmarks")
+    assert {r["benchmark"] for r in rows} == {
+        "advertisement", "spike-detection", "smart-grid-global",
+        "smart-grid-local"}
+    if not shape_checks:
+        return
+    regression = [r for r in rows if "costream_q50" in r]
+    costream = float(np.median([r["costream_q50"] for r in regression]))
+    flat = float(np.median([r["flat_q50"] for r in regression]))
+    assert costream < flat

@@ -1,0 +1,74 @@
+"""Build and persist a cost-estimation benchmark corpus (Section VI).
+
+The paper contributes a 43k-trace benchmark of query executions on
+heterogeneous hardware.  This example builds a (smaller) corpus with
+the same structure on the simulated substrate, saves it as JSONL,
+reloads it, and prints its composition statistics — the same numbers
+Section VI reports for the real corpus (template mix, filter counts,
+label distributions).
+
+Usage::
+
+    python examples/build_corpus.py [n_traces] [output.jsonl]
+"""
+
+from __future__ import annotations
+
+import collections
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import BenchmarkCollector, load_corpus, save_corpus
+from repro.query.operators import OperatorKind
+
+
+def main() -> None:
+    n_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    output = Path(sys.argv[2]) if len(sys.argv) > 2 \
+        else Path("costream_corpus.jsonl")
+
+    print(f"== Collect {n_traces} traces ==")
+    collector = BenchmarkCollector(seed=2024)
+    traces = collector.collect(n_traces)
+    save_corpus(traces, output)
+    print(f"   written to {output} "
+          f"({output.stat().st_size / 1e6:.1f} MB)")
+
+    print("== Reload and report corpus statistics ==")
+    traces = load_corpus(output)
+
+    templates = collections.Counter(
+        len(t.plan.sources) for t in traces)
+    print("   template mix (by #sources):")
+    for n_sources, label in ((1, "linear"), (2, "2-way join"),
+                             (3, "3-way join")):
+        share = templates.get(n_sources, 0) / len(traces)
+        print(f"     {label:12s}: {share:6.1%}")
+
+    filters = collections.Counter(
+        t.plan.count_of_kind(OperatorKind.FILTER) for t in traces)
+    print("   filter-count distribution:")
+    for count in sorted(filters):
+        print(f"     {count} filter(s): {filters[count] / len(traces):6.1%}")
+
+    with_agg = sum(
+        1 for t in traces if t.plan.count_of_kind(OperatorKind.AGGREGATE))
+    print(f"   queries with aggregation: {with_agg / len(traces):6.1%}")
+
+    n_bp = sum(t.metrics.backpressure for t in traces)
+    n_fail = sum(not t.metrics.success for t in traces)
+    healthy = [t.metrics.throughput for t in traces if t.metrics.success]
+    print(f"   backpressured: {n_bp / len(traces):6.1%}   "
+          f"failed: {n_fail / len(traces):6.1%}")
+    print(f"   throughput p5/p50/p95: "
+          f"{np.percentile(healthy, 5):9.1f} / "
+          f"{np.percentile(healthy, 50):9.1f} / "
+          f"{np.percentile(healthy, 95):9.1f} ev/s")
+
+
+if __name__ == "__main__":
+    main()

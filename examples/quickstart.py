@@ -1,0 +1,68 @@
+"""Quickstart: train a COSTREAM cost model and predict query costs.
+
+Runs end-to-end in about a minute:
+
+1. collect a small corpus of simulated query executions,
+2. train cost models (throughput + query success),
+3. predict the costs of a brand-new query/placement,
+4. compare the prediction against an actual (simulated) execution.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (BenchmarkCollector, Costream, DSPSSimulator,
+                   QueryGenerator, TrainingConfig, sample_cluster)
+from repro.placement import HeuristicPlacementEnumerator
+from repro.simulator import SelectivityEstimator
+
+
+def main() -> None:
+    print("== 1. Collect a training corpus (simulated executions) ==")
+    collector = BenchmarkCollector(seed=0)
+    traces = collector.collect(600)
+    n_bp = sum(t.metrics.backpressure for t in traces)
+    n_fail = sum(not t.metrics.success for t in traces)
+    print(f"   {len(traces)} traces "
+          f"({n_bp} backpressured, {n_fail} failed)")
+
+    print("== 2. Train COSTREAM (throughput + success heads) ==")
+    config = TrainingConfig(hidden_dim=32, epochs=25, patience=8)
+    model = Costream(metrics=("throughput", "success"), ensemble_size=1,
+                     config=config, seed=0)
+    model.fit(traces)
+    print("   trained.")
+
+    print("== 3. Predict costs for an unseen query ==")
+    rng = np.random.default_rng(7)
+    plan = QueryGenerator(seed=123).generate_two_way()
+    cluster = sample_cluster(rng, 5)
+    placement = HeuristicPlacementEnumerator(cluster, seed=1).sample(plan)
+    selectivities = SelectivityEstimator(seed=2).estimate(plan)
+    predicted = model.predict(plan, placement, cluster, selectivities)
+    print(f"   query: {plan.describe()}")
+    print(f"   placement: {dict(placement.items())}")
+    print(f"   predicted throughput : {predicted.throughput:10.1f} ev/s")
+    print(f"   predicted success    : {predicted.success}")
+
+    print("== 4. Compare against an actual simulated execution ==")
+    actual = DSPSSimulator().run(plan, placement, cluster, seed=99)
+    print(f"   actual throughput    : {actual.throughput:10.1f} ev/s")
+    print(f"   actual success       : {actual.success}")
+    ratio = max(predicted.throughput, 0.01) / max(actual.throughput, 0.01)
+    q_error = max(ratio, 1.0 / ratio)
+    print(f"   q-error              : {q_error:10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Assemble EXPERIMENTS.md from a benchmark-harness output log.
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only -s``) prints
+every regenerated paper table; this script lifts those tables out of
+the captured log and merges them with the paper-reference annotations
+of :mod:`repro.experiments.report`, producing the checked-in
+``EXPERIMENTS.md`` without re-running the (expensive) experiments.
+
+Usage::
+
+    python scripts/make_experiments_md.py bench_output.txt EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.report import ARTIFACTS  # noqa: E402
+
+#: Printed table title -> report artifact key.
+TITLE_TO_KEY = {
+    "Fig. 1 — headline comparison (E2E-latency q50)": "fig1",
+    "Table III — overall accuracy (COSTREAM vs flat vector)": "table3",
+    "Fig. 7 — accuracy grouped by hardware feature ranges": "fig7",
+    "Fig. 8 — accuracy grouped by query type": "fig8",
+    "Fig. 9 — median Lp speed-up over heuristic placement": "fig9",
+    "Fig. 10 — slow-down & monitoring overhead vs COSTREAM": "fig10",
+    "Table IV — interpolation to unseen in-range hardware": "table4",
+    "Table V — extrapolation towards stronger resources": "table5a",
+    "Table V — extrapolation towards weaker resources": "table5b",
+    "Table VI A — unseen filter-chain patterns": "table6a",
+    "Fig. 11 — throughput q-error before/after fine-tuning": "fig11",
+    "Table VI B — unseen DSPBench-style benchmarks": "table6b",
+    "Fig. 12 — featurization ablation (E2E-latency)": "fig12",
+    "Fig. 13 — staged (ours) vs traditional message passing": "fig13",
+}
+
+EXTRA_TITLES = (
+    "Ablation — throughput accuracy vs ensemble size",
+    "Ablation — MSLE vs MSE training loss (throughput)",
+    "Ablation — throughput accuracy vs hidden dimension",
+)
+
+
+def extract_tables(log_text: str) -> dict[str, str]:
+    """Map printed table titles to their full ASCII-table text."""
+    lines = log_text.splitlines()
+    tables: dict[str, str] = {}
+    titles = set(TITLE_TO_KEY) | set(EXTRA_TITLES)
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        if line in titles:
+            block = [line]
+            j = i + 1
+            while j < len(lines):
+                candidate = lines[j].rstrip()
+                stripped = candidate.strip()
+                if not stripped or candidate.startswith("="):
+                    break
+                if stripped in titles:       # next table begins
+                    break
+                # pytest progress dots / status lines end a table too.
+                if set(stripped) <= {".", "s", "F", "x"}:
+                    break
+                # pytest-benchmark separators are all dashes; our own
+                # table rules contain "-+-".
+                if set(stripped) <= {"-", " "} and "-+-" not in stripped:
+                    break
+                block.append(candidate)
+                j += 1
+            tables[line] = "\n".join(block)
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def scale_line(log_text: str) -> str:
+    match = re.search(r"REPRO_SCALE=(\w+)", log_text)
+    return match.group(1) if match else "small"
+
+
+def build_document(tables: dict[str, str], scale: str) -> str:
+    by_key = {a.key: a for a in ARTIFACTS}
+    parts = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        f"Generated from a full `pytest benchmarks/ --benchmark-only` "
+        f"run at the **{scale}** scale preset "
+        f"(see `repro/experiments/scale.py`; the raw harness output is "
+        f"in `bench_output.txt`).",
+        "",
+        "Absolute numbers are not expected to match the paper: the "
+        "execution substrate is a calibrated simulator (see DESIGN.md), "
+        "not the authors' 60-machine CloudLab/Storm testbed, and the "
+        "reproduction trains on a corpus roughly 20x smaller.  What the "
+        "benchmark harness *asserts* — and what this document records — "
+        "is the qualitative shape of every artifact: who wins, how "
+        "accuracy degrades along each generalization axis, and which "
+        "design choices pay off.",
+        "",
+    ]
+    for title, key in TITLE_TO_KEY.items():
+        artifact = by_key[key]
+        parts.append(f"## {artifact.title}")
+        parts.append("")
+        parts.append(f"**Paper:** {artifact.paper_summary}")
+        parts.append("")
+        parts.append(f"**Expected shape:** {artifact.expected_shape}")
+        parts.append("")
+        if title in tables:
+            parts.append("**Measured:**")
+            parts.append("")
+            parts.append("```")
+            parts.append(tables[title])
+            parts.append("```")
+        else:
+            parts.append("*(table missing from the supplied log)*")
+        parts.append("")
+    parts.append("## Extra ablations (beyond the paper)")
+    parts.append("")
+    for title in EXTRA_TITLES:
+        if title in tables:
+            parts.append("```")
+            parts.append(tables[title])
+            parts.append("```")
+            parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    log_path, out_path = Path(sys.argv[1]), Path(sys.argv[2])
+    log_text = log_path.read_text(encoding="utf-8")
+    tables = extract_tables(log_text)
+    document = build_document(tables, scale_line(log_text))
+    out_path.write_text(document, encoding="utf-8")
+    print(f"wrote {out_path} with {len(tables)} tables")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Baselines: flat-vector cost model and online-monitoring scheduling."""
+
+from .flat_vector import FlatVectorFeaturizer, FlatVectorModel
+from .online_monitoring import MonitoringResult, OnlineMonitoringScheduler
+
+__all__ = ["FlatVectorFeaturizer", "FlatVectorModel", "MonitoringResult",
+           "OnlineMonitoringScheduler"]

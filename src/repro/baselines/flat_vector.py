@@ -1,0 +1,151 @@
+"""Flat-vector cost-model baseline (Ganapathi et al. [16] + LightGBM).
+
+The baseline the paper compares against encodes a query execution as a
+single fixed-length feature vector.  Because the vector has no
+structure, per-operator placement cannot be represented — hardware and
+co-location information collapse into aggregates over the used hosts —
+which is precisely why the baseline fails to generalize (Sections VII-A
+and VII-E).  Gradient-boosted trees (our :mod:`repro.gbdt` substrate,
+standing in for LightGBM [34]) are trained per metric on this vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.collection import QueryTrace
+from ..gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from ..query.operators import OperatorKind
+from ..simulator.result import (METRIC_NAMES, REGRESSION_METRICS,
+                                QueryMetrics)
+
+__all__ = ["FlatVectorFeaturizer", "FlatVectorModel"]
+
+
+class FlatVectorFeaturizer:
+    """Encodes a trace as one fixed-length numeric vector."""
+
+    FEATURE_NAMES = (
+        # workload aggregates
+        "log_total_event_rate", "n_sources", "avg_tuple_width",
+        "n_operators", "n_filters", "n_joins", "n_aggregations",
+        "avg_filter_selectivity", "log_filter_selectivity_product",
+        "log_avg_join_selectivity", "avg_agg_selectivity",
+        "n_string_predicates", "frac_sliding_windows",
+        "frac_count_windows", "log_avg_window_size", "avg_slide_ratio",
+        # hardware aggregates (structure is lost — that is the point:
+        # a flat vector cannot say *which* operator sits on *which*
+        # host, only what the used hosts look like on average)
+        "n_hosts", "avg_colocation", "log_mean_cpu", "log_mean_ram",
+        "log_mean_bandwidth", "log_mean_latency",
+    )
+
+    def vector(self, trace: QueryTrace) -> np.ndarray:
+        plan = trace.plan
+        selectivities = trace.selectivities
+        operators = plan.operators
+
+        sources = plan.operators_of_kind(OperatorKind.SOURCE)
+        filters = plan.operators_of_kind(OperatorKind.FILTER)
+        joins = plan.operators_of_kind(OperatorKind.JOIN)
+        aggs = plan.operators_of_kind(OperatorKind.AGGREGATE)
+
+        total_rate = sum(operators[s].event_rate for s in sources)
+        widths = [operators[s].schema.width for s in sources]
+
+        filter_sels = [selectivities.get(f, operators[f].selectivity)
+                       for f in filters]
+        join_sels = [selectivities.get(j, operators[j].selectivity)
+                     for j in joins]
+        agg_sels = [selectivities.get(a, operators[a].selectivity)
+                    for a in aggs]
+        string_predicates = sum(
+            1 for f in filters
+            if operators[f].function in ("startswith", "endswith"))
+
+        windows = [operators[o].window for o in joins + aggs]
+        sliding = [1.0 for w in windows if w.window_type == "sliding"]
+        count_based = [1.0 for w in windows if w.policy == "count"]
+
+        used = trace.placement.used_nodes()
+        nodes = [trace.cluster.node(n) for n in used]
+        cpu = [n.cpu for n in nodes]
+        ram = [n.ram_mb for n in nodes]
+        bandwidth = [n.bandwidth_mbits for n in nodes]
+        latency = [n.latency_ms for n in nodes]
+
+        def log_mean(values):
+            return float(np.log1p(np.mean(values))) if values else 0.0
+
+        vector = [
+            np.log1p(total_rate), len(sources), float(np.mean(widths)),
+            len(operators), len(filters), len(joins), len(aggs),
+            float(np.mean(filter_sels)) if filter_sels else 1.0,
+            float(np.log(max(np.prod(filter_sels), 1e-12)))
+            if filter_sels else 0.0,
+            float(np.log(max(np.mean(join_sels), 1e-12)))
+            if join_sels else 0.0,
+            float(np.mean(agg_sels)) if agg_sels else 0.0,
+            float(string_predicates),
+            len(sliding) / len(windows) if windows else 0.0,
+            len(count_based) / len(windows) if windows else 0.0,
+            log_mean([w.size for w in windows]),
+            float(np.mean([w.slide / w.size for w in windows]))
+            if windows else 0.0,
+            float(len(used)),
+            len(operators) / len(used),
+            log_mean(cpu), log_mean(ram), log_mean(bandwidth),
+            log_mean(latency),
+        ]
+        return np.asarray(vector, dtype=np.float64)
+
+    def matrix(self, traces: list[QueryTrace]) -> np.ndarray:
+        return np.vstack([self.vector(t) for t in traces])
+
+
+class FlatVectorModel:
+    """Per-metric GBDT models over the flat vector."""
+
+    def __init__(self, n_estimators: int = 200, max_depth: int = 6,
+                 learning_rate: float = 0.08, seed: int = 0):
+        self.featurizer = FlatVectorFeaturizer()
+        self._params = dict(n_estimators=n_estimators, max_depth=max_depth,
+                            learning_rate=learning_rate, random_state=seed)
+        self.models: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, traces: list[QueryTrace],
+            metrics: tuple[str, ...] = METRIC_NAMES) -> "FlatVectorModel":
+        features = self.featurizer.matrix(traces)
+        success = np.asarray([t.metrics.success for t in traces],
+                             dtype=bool)
+        for metric in metrics:
+            labels = np.asarray([t.metrics.value(metric) for t in traces])
+            if metric in REGRESSION_METRICS:
+                model = GradientBoostingRegressor(**self._params)
+                model.fit(features[success], np.log1p(labels[success]))
+            else:
+                model = GradientBoostingClassifier(**self._params)
+                model.fit(features, labels)
+            self.models[metric] = model
+        return self
+
+    def predict_metric(self, metric: str,
+                       traces: list[QueryTrace]) -> np.ndarray:
+        """Predictions in label space (costs / class probabilities)."""
+        model = self.models[metric]
+        features = self.featurizer.matrix(traces)
+        if metric in REGRESSION_METRICS:
+            return np.expm1(np.clip(model.predict(features), 0.0, 30.0))
+        return model.predict_proba(features)
+
+    def predict(self, trace: QueryTrace) -> QueryMetrics:
+        """All-metric prediction for one (hypothetical) trace."""
+        values = {metric: float(self.predict_metric(metric, [trace])[0])
+                  for metric in self.models}
+        return QueryMetrics(
+            throughput=values.get("throughput", 0.0),
+            e2e_latency_ms=values.get("e2e_latency", 0.0),
+            processing_latency_ms=values.get("processing_latency", 0.0),
+            backpressure=bool(values.get("backpressure", 0.0) >= 0.5),
+            success=bool(values.get("success", 1.0) >= 0.5))

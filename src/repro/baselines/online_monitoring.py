@@ -1,0 +1,138 @@
+"""Online-monitoring scheduling baseline (after Aniello et al. [1]).
+
+This baseline represents the state of practice the paper argues
+against: start from a heuristic placement, monitor runtime statistics
+(CPU utilization, queue sizes), and periodically *migrate* the most
+pressured operator to a less utilized host.  Migrations pay a real
+cost — the operator is paused while its state is shipped — and, more
+importantly, the query runs under the bad initial placement until
+monitoring converges.  Exp 2b measures exactly this: the initial
+slow-down relative to COSTREAM's placement and the *monitoring
+overhead*, i.e. how long the scheduler needs to reach a competitive
+processing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hardware.cluster import Cluster
+from ..hardware.node import capability_score
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+from ..simulator.config import SimulationConfig
+from ..simulator.fluid import FluidSimulation
+
+__all__ = ["MonitoringResult", "OnlineMonitoringScheduler"]
+
+
+@dataclass
+class MonitoringResult:
+    """Timeline and outcome of one monitored execution."""
+
+    timeline: list[tuple[float, float]]            # (time s, Lp ms)
+    migrations: list[tuple[float, str, str]]       # (time, op, new node)
+    final_placement: Placement
+    initial_latency_ms: float
+    final_latency_ms: float
+
+    def time_to_reach(self, target_latency_ms: float) -> float | None:
+        """First time at which Lp is competitive with ``target``.
+
+        Returns ``None`` when the monitored execution never reaches the
+        target — the monitoring overhead is then the full execution.
+        """
+        for time_s, latency_ms in self.timeline:
+            if latency_ms <= target_latency_ms:
+                return time_s
+        return None
+
+
+class OnlineMonitoringScheduler:
+    """Reactive rescheduler over the fluid execution simulator."""
+
+    def __init__(self, cluster: Cluster,
+                 config: SimulationConfig | None = None,
+                 monitor_interval_s: float = 10.0,
+                 utilization_threshold: float = 0.8,
+                 warmup_s: float = 20.0,
+                 migration_pause_s: float = 2.0, seed: int = 0):
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.monitor_interval_s = monitor_interval_s
+        self.utilization_threshold = utilization_threshold
+        self.warmup_s = warmup_s
+        self.migration_pause_s = migration_pause_s
+        self.seed = seed
+        self._score = {n.node_id: capability_score(n)
+                       for n in cluster.nodes}
+
+    # ------------------------------------------------------------------
+    def run(self, plan: QueryPlan, initial_placement: Placement,
+            duration_s: float | None = None) -> MonitoringResult:
+        duration_s = duration_s or self.config.execution_seconds
+        simulation = FluidSimulation(plan, initial_placement, self.cluster,
+                                     self.config, seed=self.seed)
+        timeline: list[tuple[float, float]] = []
+        migrations: list[tuple[float, str, str]] = []
+        next_monitor = self.warmup_s
+        step = self.config.fluid_step_seconds
+        initial_latency = None
+
+        while simulation.time_s < duration_s:
+            simulation.step()
+            simulation.time_s += step
+            if int(simulation.time_s / step) % max(int(2.0 / step), 1) == 0:
+                latency = simulation.processing_latency_ms()
+                timeline.append((simulation.time_s, latency))
+                if initial_latency is None \
+                        and simulation.time_s >= self.warmup_s / 2:
+                    initial_latency = latency
+            if simulation.time_s >= next_monitor:
+                next_monitor += self.monitor_interval_s
+                move = self._decide_migration(simulation)
+                if move is not None:
+                    op_id, node_id = move
+                    simulation.migrate(op_id, node_id,
+                                       pause_s=self.migration_pause_s)
+                    migrations.append((simulation.time_s, op_id, node_id))
+
+        final_latency = (timeline[-1][1] if timeline else float("inf"))
+        return MonitoringResult(
+            timeline=timeline, migrations=migrations,
+            final_placement=simulation.placement,
+            initial_latency_ms=initial_latency or final_latency,
+            final_latency_ms=final_latency)
+
+    # ------------------------------------------------------------------
+    def _decide_migration(self,
+                          simulation: FluidSimulation
+                          ) -> tuple[str, str] | None:
+        """Aniello-style policy: offload the hottest operator of the
+        most utilized node to the least utilized (stronger) node."""
+        stats = simulation.stats()
+        if not stats.node_utilization:
+            return None
+        hot_node, hot_util = max(stats.node_utilization.items(),
+                                 key=lambda kv: kv[1])
+        if hot_util < self.utilization_threshold:
+            return None
+        candidates = [o for o in simulation.placement.operators_on(hot_node)
+                      if simulation.plan.parents(o)]  # sources stay put
+        if not candidates:
+            return None
+        victim = max(candidates, key=lambda o: stats.operator_queue[o])
+        targets = [
+            n for n in self.cluster.node_ids
+            if n != hot_node
+            and stats.node_utilization.get(n, 0.0)
+            < self.utilization_threshold
+            and self._score[n] >= 0.8 * self._score[hot_node]]
+        if not targets:
+            return None
+        target = min(targets,
+                     key=lambda n: (stats.node_utilization.get(n, 0.0),
+                                    -self._score[n]))
+        return victim, target

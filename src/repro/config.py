@@ -1,0 +1,72 @@
+"""Feature ranges for workload and hardware generation.
+
+The defaults reproduce Table II of the paper (the ranges used to build
+the synthetic training corpus).  Experiments 3 and 4 (interpolation and
+extrapolation over hardware) construct modified copies of these ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["HardwareRanges", "WorkloadRanges", "default_hardware_ranges",
+           "default_workload_ranges"]
+
+
+@dataclass(frozen=True)
+class HardwareRanges:
+    """Discrete hardware feature grids (Table II, hardware rows)."""
+
+    cpu: tuple[float, ...] = (50, 100, 200, 300, 400, 500, 600, 700, 800)
+    ram_mb: tuple[float, ...] = (1000, 2000, 4000, 8000, 16000, 24000, 32000)
+    bandwidth_mbits: tuple[float, ...] = (
+        25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 10000)
+    latency_ms: tuple[float, ...] = (1, 2, 5, 10, 20, 40, 80, 160)
+
+    def restricted(self, **overrides) -> "HardwareRanges":
+        """Copy with some grids replaced (used by Exp 3/4)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class WorkloadRanges:
+    """Discrete workload feature grids (Table II, workload rows)."""
+
+    event_rate_linear: tuple[float, ...] = (
+        100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600)
+    event_rate_two_way: tuple[float, ...] = (
+        50, 100, 250, 500, 750, 1000, 1250, 1500, 1750, 2000)
+    event_rate_three_way: tuple[float, ...] = (
+        20, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+    tuple_width: tuple[int, ...] = tuple(range(3, 11))
+    filter_functions: tuple[str, ...] = (
+        "<", ">", "<=", ">=", "!=", "startswith", "endswith")
+    literal_types: tuple[str, ...] = ("int", "string", "double")
+    window_types: tuple[str, ...] = ("sliding", "tumbling")
+    window_policies: tuple[str, ...] = ("count", "time")
+    window_size_count: tuple[int, ...] = (5, 10, 20, 40, 80, 160, 320, 640)
+    window_size_time: tuple[float, ...] = (0.25, 0.5, 1, 2, 4, 8, 16)
+    slide_ratio: tuple[float, float] = (0.3, 0.7)
+    join_key_types: tuple[str, ...] = ("int", "string", "double")
+    agg_functions: tuple[str, ...] = ("min", "max", "mean", "sum")
+    group_by_types: tuple[str, ...] = ("int", "string", "double", "none")
+    # Distribution of the number of filter predicates per query (paper
+    # Section VI: 35% 1 filter, 34% 2, 24% 3, 6% 4 + 1% slack folded in).
+    filter_count_weights: tuple[float, ...] = (0.35, 0.34, 0.25, 0.06)
+    aggregation_probability: float = 0.5
+    # Query-template mix: linear / 2-way join / 3-way join.
+    template_weights: tuple[float, float, float] = (0.35, 0.34, 0.31)
+    filter_selectivity: tuple[float, float] = (0.05, 1.0)
+    join_selectivity: tuple[float, float] = (0.001, 0.1)
+    agg_selectivity: tuple[float, float] = (0.02, 0.6)
+
+    def restricted(self, **overrides) -> "WorkloadRanges":
+        return replace(self, **overrides)
+
+
+def default_hardware_ranges() -> HardwareRanges:
+    return HardwareRanges()
+
+
+def default_workload_ranges() -> WorkloadRanges:
+    return WorkloadRanges()

@@ -1,0 +1,21 @@
+"""COSTREAM core: featurization, joint graph, GNN, training, ensembles."""
+
+from .costream import Costream
+from .dataset import GraphDataset, split_traces
+from .ensemble import MetricEnsemble
+from .features import FEATURE_MODES, Featurizer, NODE_TYPES
+from .graph import GraphBatch, QueryGraph, build_graph, collate
+from .metrics import (balance_classes, classification_accuracy, q_error,
+                      q_error_percentiles)
+from .model import CostreamGNN, MESSAGE_SCHEMES
+from .persistence import load_costream, save_costream
+from .training import CostModel, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Costream", "GraphDataset", "split_traces", "MetricEnsemble",
+    "FEATURE_MODES", "Featurizer", "NODE_TYPES", "GraphBatch", "QueryGraph",
+    "build_graph", "collate", "balance_classes", "classification_accuracy",
+    "q_error", "q_error_percentiles", "CostreamGNN", "MESSAGE_SCHEMES",
+    "CostModel", "TrainingConfig", "TrainingHistory", "load_costream",
+    "save_costream",
+]

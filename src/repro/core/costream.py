@@ -1,0 +1,99 @@
+"""The COSTREAM facade: train once, predict costs for any placement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.collection import QueryTrace
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+from ..simulator.result import METRIC_NAMES, QueryMetrics
+from .dataset import GraphDataset
+from .ensemble import MetricEnsemble
+from .features import Featurizer
+from .graph import QueryGraph, build_graph
+from .training import TrainingConfig
+
+__all__ = ["Costream"]
+
+
+class Costream:
+    """Zero-shot learned cost model for streaming operator placement.
+
+    One :class:`~repro.core.ensemble.MetricEnsemble` per cost metric,
+    all sharing a featurization mode and training configuration::
+
+        model = Costream(ensemble_size=3).fit(traces)
+        predicted = model.predict(plan, placement, cluster)
+        # predicted.processing_latency_ms, predicted.success, ...
+    """
+
+    def __init__(self, metrics: tuple[str, ...] = METRIC_NAMES,
+                 ensemble_size: int = 1,
+                 config: TrainingConfig | None = None,
+                 featurizer: Featurizer | None = None, seed: int = 0):
+        self.config = config or TrainingConfig()
+        self.featurizer = featurizer or Featurizer()
+        self.ensembles: dict[str, MetricEnsemble] = {
+            metric: MetricEnsemble(metric, size=ensemble_size,
+                                   config=self.config,
+                                   featurizer=self.featurizer,
+                                   seed=seed + 100_000 * i)
+            for i, metric in enumerate(metrics)}
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        return tuple(self.ensembles)
+
+    # ------------------------------------------------------------------
+    def fit(self, traces: list[QueryTrace],
+            val_traces: list[QueryTrace] | None = None) -> "Costream":
+        """Train every metric ensemble on a trace corpus."""
+        dataset = GraphDataset.from_traces(traces, self.featurizer)
+        val_dataset = (GraphDataset.from_traces(val_traces, self.featurizer)
+                       if val_traces else None)
+        for metric, ensemble in self.ensembles.items():
+            graphs, labels = dataset.metric_view(metric)
+            if val_dataset is not None:
+                val_graphs, val_labels = val_dataset.metric_view(metric)
+                ensemble.fit(graphs, labels, val_graphs, val_labels)
+            else:
+                ensemble.fit(graphs, labels)
+        return self
+
+    def fine_tune(self, traces: list[QueryTrace],
+                  epochs: int = 15) -> "Costream":
+        """Few-shot adaptation on additional traces (Exp 5b)."""
+        dataset = GraphDataset.from_traces(traces, self.featurizer)
+        for metric, ensemble in self.ensembles.items():
+            graphs, labels = dataset.metric_view(metric)
+            ensemble.fine_tune(graphs, labels, epochs=epochs)
+        return self
+
+    # ------------------------------------------------------------------
+    def build_graph(self, plan: QueryPlan, placement: Placement,
+                    cluster: Cluster,
+                    selectivities: dict[str, float] | None = None
+                    ) -> QueryGraph:
+        return build_graph(plan, placement, cluster, self.featurizer,
+                           selectivities)
+
+    def predict(self, plan: QueryPlan, placement: Placement,
+                cluster: Cluster,
+                selectivities: dict[str, float] | None = None
+                ) -> QueryMetrics:
+        """Predict all cost metrics of one placed query."""
+        graph = self.build_graph(plan, placement, cluster, selectivities)
+        values = {metric: float(ensemble.predict([graph])[0])
+                  for metric, ensemble in self.ensembles.items()}
+        return QueryMetrics(
+            throughput=values.get("throughput", 0.0),
+            e2e_latency_ms=values.get("e2e_latency", 0.0),
+            processing_latency_ms=values.get("processing_latency", 0.0),
+            backpressure=bool(values.get("backpressure", 0.0) >= 0.5),
+            success=bool(values.get("success", 1.0) >= 0.5))
+
+    def predict_metric(self, metric: str,
+                       graphs: list[QueryGraph]) -> np.ndarray:
+        return self.ensembles[metric].predict(graphs)

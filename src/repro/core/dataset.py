@@ -1,0 +1,87 @@
+"""Datasets: traces -> (joint graphs, labels) with train/val/test splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.collection import QueryTrace
+from ..simulator.result import (CLASSIFICATION_METRICS, METRIC_NAMES,
+                                REGRESSION_METRICS)
+from .features import Featurizer
+from .graph import QueryGraph, build_graph
+
+__all__ = ["GraphDataset", "split_traces"]
+
+
+def split_traces(traces: list[QueryTrace],
+                 fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
+                 seed: int = 0) -> tuple[list[QueryTrace], list[QueryTrace],
+                                         list[QueryTrace]]:
+    """Shuffle and split traces into train/validation/test lists."""
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("split fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(traces))
+    n_train = int(round(fractions[0] * len(traces)))
+    n_val = int(round(fractions[1] * len(traces)))
+    train = [traces[i] for i in order[:n_train]]
+    val = [traces[i] for i in order[n_train:n_train + n_val]]
+    test = [traces[i] for i in order[n_train + n_val:]]
+    return train, val, test
+
+
+@dataclass
+class GraphDataset:
+    """Featurized traces ready for model training.
+
+    Holds one joint graph per trace (built with a given featurization
+    mode) plus the label vector of every cost metric.
+    """
+
+    graphs: list[QueryGraph]
+    labels: dict[str, np.ndarray]
+    traces: list[QueryTrace]
+
+    @classmethod
+    def from_traces(cls, traces: list[QueryTrace],
+                    featurizer: Featurizer | None = None) -> "GraphDataset":
+        featurizer = featurizer or Featurizer()
+        graphs = [build_graph(t.plan, t.placement, t.cluster, featurizer,
+                              t.selectivities) for t in traces]
+        labels = {metric: np.asarray([t.metrics.value(metric)
+                                      for t in traces])
+                  for metric in METRIC_NAMES}
+        return cls(graphs=graphs, labels=labels, traces=traces)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    # ------------------------------------------------------------------
+    def indices_for_metric(self, metric: str) -> np.ndarray:
+        """Usable training rows for one metric.
+
+        Regression metrics are only trained/evaluated on successful
+        executions (failed queries have degenerate cost labels); the
+        binary metrics use every trace.
+        """
+        if metric in REGRESSION_METRICS:
+            return np.nonzero(self.labels["success"] > 0.5)[0]
+        if metric in CLASSIFICATION_METRICS:
+            return np.arange(len(self.graphs))
+        raise KeyError(f"unknown metric {metric!r}")
+
+    def subset(self, indices: np.ndarray) -> "GraphDataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return GraphDataset(
+            graphs=[self.graphs[i] for i in indices],
+            labels={m: v[indices] for m, v in self.labels.items()},
+            traces=[self.traces[i] for i in indices])
+
+    def metric_view(self, metric: str) -> tuple[list[QueryGraph],
+                                                np.ndarray]:
+        """(graphs, labels) restricted to the usable rows of a metric."""
+        rows = self.indices_for_metric(metric)
+        graphs = [self.graphs[i] for i in rows]
+        return graphs, self.labels[metric][rows]

@@ -1,0 +1,68 @@
+"""Ensembles of cost models (paper Section IV-A, 'Model Implementation').
+
+To reduce prediction uncertainty, COSTREAM trains several models per
+metric that differ only in their random initialization seed, and
+combines them at inference time: the mean for regression metrics, a
+majority vote for the binary metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .features import Featurizer
+from .graph import QueryGraph
+from .training import CostModel, TrainingConfig
+
+__all__ = ["MetricEnsemble"]
+
+
+class MetricEnsemble:
+    """Several same-metric models trained from different seeds."""
+
+    def __init__(self, metric: str, size: int = 3,
+                 config: TrainingConfig | None = None,
+                 featurizer: Featurizer | None = None, seed: int = 0):
+        if size < 1:
+            raise ValueError("ensemble size must be at least 1")
+        self.metric = metric
+        self.members = [CostModel(metric, config=config,
+                                  featurizer=featurizer,
+                                  seed=seed + 1000 * i)
+                        for i in range(size)]
+
+    @property
+    def is_regression(self) -> bool:
+        return self.members[0].is_regression
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def fit(self, graphs: list[QueryGraph], labels: np.ndarray,
+            val_graphs: list[QueryGraph] | None = None,
+            val_labels: np.ndarray | None = None) -> "MetricEnsemble":
+        for member in self.members:
+            member.fit(graphs, labels, val_graphs, val_labels)
+        return self
+
+    def fine_tune(self, graphs: list[QueryGraph], labels: np.ndarray,
+                  epochs: int = 15) -> "MetricEnsemble":
+        for member in self.members:
+            member.fine_tune(graphs, labels, epochs=epochs)
+        return self
+
+    def predict(self, graphs: list[QueryGraph]) -> np.ndarray:
+        """Combined prediction: mean (regression) / majority (binary)."""
+        stacked = np.stack([m.predict(graphs) for m in self.members])
+        if self.is_regression:
+            return stacked.mean(axis=0)
+        votes = (stacked >= 0.5).sum(axis=0)
+        return (votes * 2 > len(self.members)).astype(np.float64)
+
+    def predict_proba(self, graphs: list[QueryGraph]) -> np.ndarray:
+        """Mean class probability (binary metrics only)."""
+        if self.is_regression:
+            raise ValueError(f"{self.metric} is a regression metric")
+        return np.stack([m.predict(graphs)
+                         for m in self.members]).mean(axis=0)

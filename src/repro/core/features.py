@@ -1,0 +1,164 @@
+"""Transferable features (paper Table I).
+
+The featurizer turns operators and hardware nodes into fixed-size
+numeric vectors that deliberately avoid anything tied to a concrete
+deployment (no hostnames, no filter literals): only *transferable*
+properties — operator/window shapes, estimated selectivities, tuple
+widths and data types, source event rates, and the four hardware
+capacities — so a trained model can generalize to unseen workloads and
+hardware.
+
+Magnitude-style features (rates, window sizes, hardware capacities) are
+``log1p``-transformed: the training grids span several orders of
+magnitude and the log domain is where inter-/extrapolation is
+meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.node import HardwareNode
+from ..query.datatypes import DataType
+from ..query.operators import (Filter, Operator, OperatorKind, Sink, Source,
+                               Window, WindowedAggregate, WindowedJoin)
+from ..query.plan import QueryPlan
+
+__all__ = ["Featurizer", "NODE_TYPES", "FEATURE_MODES"]
+
+#: Graph node types; each has its own encoder in the GNN.
+NODE_TYPES = ("source", "filter", "aggregate", "join", "sink", "host")
+
+#: Featurization schemes for the Exp 7a ablation: the full joint graph,
+#: host nodes without hardware features (placement/co-location only),
+#: and the query-only graph without host nodes at all.
+FEATURE_MODES = ("full", "placement_only", "query_only")
+
+_FILTER_FUNCTIONS = ("<", ">", "<=", ">=", "!=", "startswith", "endswith")
+_AGG_FUNCTIONS = ("min", "max", "mean", "sum")
+_DATA_TYPES = (DataType.INT, DataType.DOUBLE, DataType.STRING)
+
+_WINDOW_DIM = 5
+_SCHEMA_DIM = 3
+
+
+def _one_hot(value, choices) -> np.ndarray:
+    vec = np.zeros(len(choices), dtype=np.float64)
+    try:
+        vec[list(choices).index(value)] = 1.0
+    except ValueError:
+        pass  # unseen category: all-zero encoding keeps the model usable
+    return vec
+
+
+def _window_features(window: Window) -> np.ndarray:
+    return np.asarray([
+        1.0 if window.window_type == "sliding" else 0.0,
+        1.0 if window.policy == "count" else 0.0,
+        np.log1p(window.size),
+        np.log1p(window.slide),
+        window.slide / window.size,
+    ], dtype=np.float64)
+
+
+def _schema_fractions(schema) -> np.ndarray:
+    counts = schema.counts()
+    width = schema.width
+    return np.asarray([counts[t] / width for t in _DATA_TYPES],
+                      dtype=np.float64)
+
+
+class Featurizer:
+    """Builds per-node transferable feature vectors.
+
+    ``selectivities`` passed to :meth:`operator_features` are the
+    *estimated* ones (from :class:`~repro.simulator.SelectivityEstimator`);
+    the true values never reach the model.
+    """
+
+    def __init__(self, mode: str = "full"):
+        if mode not in FEATURE_MODES:
+            raise ValueError(f"unknown featurization mode {mode!r}")
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def feature_dim(self, node_type: str) -> int:
+        dims = {
+            "source": 2 + _SCHEMA_DIM,
+            "filter": len(_FILTER_FUNCTIONS) + len(_DATA_TYPES) + 3,
+            "aggregate": (len(_AGG_FUNCTIONS) + len(_DATA_TYPES)
+                          + len(_DATA_TYPES) + 1 + 1 + _WINDOW_DIM + 2),
+            "join": len(_DATA_TYPES) + 1 + _WINDOW_DIM + 2,
+            "sink": 1,
+            "host": 4 if self.mode == "full" else 1,
+        }
+        return dims[node_type]
+
+    # ------------------------------------------------------------------
+    def operator_features(self, plan: QueryPlan, op_id: str,
+                          selectivities: dict[str, float]) -> np.ndarray:
+        """Feature vector of one operator node."""
+        operator = plan.operator(op_id)
+        annotation = plan.annotations()[op_id]
+        width_in = annotation.input_width / 10.0
+        width_out = annotation.output_width / 10.0
+        kind = operator.kind
+
+        if kind is OperatorKind.SOURCE:
+            assert isinstance(operator, Source)
+            return np.concatenate([
+                [np.log1p(operator.event_rate), width_out],
+                _schema_fractions(operator.schema)])
+
+        if kind is OperatorKind.FILTER:
+            assert isinstance(operator, Filter)
+            selectivity = selectivities.get(op_id, operator.selectivity)
+            return np.concatenate([
+                _one_hot(operator.function, _FILTER_FUNCTIONS),
+                _one_hot(operator.literal_type, _DATA_TYPES),
+                [selectivity, width_in, width_out]])
+
+        if kind is OperatorKind.AGGREGATE:
+            assert isinstance(operator, WindowedAggregate)
+            selectivity = selectivities.get(op_id, operator.selectivity)
+            return np.concatenate([
+                _one_hot(operator.agg_function, _AGG_FUNCTIONS),
+                _one_hot(operator.agg_type, _DATA_TYPES),
+                _one_hot(operator.group_by_type, _DATA_TYPES),
+                [1.0 if operator.group_by_type is None else 0.0],
+                [selectivity],
+                _window_features(operator.window),
+                [width_in, width_out]])
+
+        if kind is OperatorKind.JOIN:
+            assert isinstance(operator, WindowedJoin)
+            selectivity = selectivities.get(op_id, operator.selectivity)
+            # Join selectivities are log-uniform over orders of
+            # magnitude; feed the model the log-domain value.
+            return np.concatenate([
+                _one_hot(operator.key_type, _DATA_TYPES),
+                [np.log1p(selectivity * 1e4) / 10.0],
+                _window_features(operator.window),
+                [width_in, width_out]])
+
+        if kind is OperatorKind.SINK:
+            return np.asarray([width_in], dtype=np.float64)
+
+        raise ValueError(f"unknown operator kind {kind!r}")
+
+    def host_features(self, node: HardwareNode) -> np.ndarray:
+        """Feature vector of one hardware node."""
+        if self.mode != "full":
+            # Placement-only ablation: the host exists as a graph node
+            # (so co-location is visible) but carries no capacities.
+            return np.asarray([1.0], dtype=np.float64)
+        return np.asarray([
+            np.log1p(node.cpu),
+            np.log1p(node.ram_mb),
+            np.log1p(node.bandwidth_mbits),
+            np.log1p(node.latency_ms),
+        ], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def node_type_of(self, operator: Operator) -> str:
+        return operator.kind.value

@@ -1,0 +1,241 @@
+"""The joint operator-resource graph and its batched form.
+
+This is the paper's key representation (Section III-A): query operators
+*and* hardware nodes live in one DAG whose edges carry the logical data
+flow (operator -> operator) and the operator placement
+(operator <-> host).  :func:`build_graph` produces a single
+:class:`QueryGraph`; :func:`collate` merges many of them into one
+:class:`GraphBatch` with the index arrays the GNN needs for batched
+message passing:
+
+* stage 1 (``OPS -> HW``) — every operator messages its host;
+* stage 2 (``HW -> OPS``) — hosts message their operators back;
+* stage 3 (``SOURCES -> OPS``) — a topological sweep along the data
+  flow, organized as *levels* (all nodes at flow depth d across the
+  whole batch are updated together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+from .features import Featurizer, NODE_TYPES
+
+__all__ = ["QueryGraph", "GraphBatch", "StageSlice", "build_graph",
+           "collate"]
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """One query's joint operator-resource graph (numpy, un-batched)."""
+
+    node_types: list[str]                     # per node, len N
+    features: list[np.ndarray]                # per node feature vector
+    flow_edges: list[tuple[int, int]]         # operator -> operator
+    placement_edges: list[tuple[int, int]]    # operator -> host
+    flow_depth: list[int]                     # per node; hosts get -1
+    op_index: dict[str, int]
+    host_index: dict[str, int]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_types)
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.flow_depth)
+
+
+@dataclass(frozen=True)
+class StageSlice:
+    """Receivers of one node type within one message-passing step.
+
+    ``recv_rows`` are global node ids updated in this step;
+    ``edge_src`` / ``edge_seg`` describe incoming messages: the message
+    from global node ``edge_src[i]`` is summed into receiver position
+    ``edge_seg[i]`` (an index into ``recv_rows``).
+    """
+
+    recv_rows: np.ndarray
+    edge_src: np.ndarray
+    edge_seg: np.ndarray
+
+
+@dataclass(frozen=True)
+class GraphBatch:
+    """Several query graphs merged into one disjoint union."""
+
+    n_nodes: int
+    n_graphs: int
+    graph_id: np.ndarray                       # (N,)
+    type_rows: dict[str, np.ndarray]           # node ids per type
+    type_features: dict[str, np.ndarray]       # (n_type, dim) matrices
+    ops_to_hw: dict[str, StageSlice]           # stage 1, keyed "host"
+    hw_to_ops: dict[str, StageSlice]           # stage 2, keyed op type
+    flow_levels: list[dict[str, StageSlice]]   # stage 3, one per depth
+    neighbor_rounds: dict[str, StageSlice]     # traditional-MP ablation
+
+
+def build_graph(plan: QueryPlan, placement: Placement | None,
+                cluster: Cluster | None, featurizer: Featurizer,
+                selectivities: dict[str, float] | None = None) -> QueryGraph:
+    """Build the joint graph for one (plan, placement, cluster).
+
+    With ``featurizer.mode == 'query_only'`` (or a ``None`` placement)
+    the host nodes are omitted entirely — the Exp 7a ablation that
+    knows the query logic but not the placement.
+    """
+    selectivities = selectivities or {}
+    node_types: list[str] = []
+    features: list[np.ndarray] = []
+    op_index: dict[str, int] = {}
+    for op_id in plan.topological_order():
+        op_index[op_id] = len(node_types)
+        node_types.append(plan.operator(op_id).kind.value)
+        features.append(featurizer.operator_features(plan, op_id,
+                                                     selectivities))
+
+    flow_edges = [(op_index[a], op_index[b]) for a, b in plan.edges]
+    depth = _flow_depths(plan, op_index)
+
+    host_index: dict[str, int] = {}
+    placement_edges: list[tuple[int, int]] = []
+    include_hosts = (featurizer.mode != "query_only"
+                     and placement is not None and cluster is not None)
+    if include_hosts:
+        for node_id in placement.used_nodes():
+            host_index[node_id] = len(node_types)
+            node_types.append("host")
+            features.append(featurizer.host_features(cluster.node(node_id)))
+            depth.append(-1)
+        for op_id, node_id in placement.items():
+            placement_edges.append((op_index[op_id], host_index[node_id]))
+
+    return QueryGraph(node_types=node_types, features=features,
+                      flow_edges=flow_edges,
+                      placement_edges=placement_edges, flow_depth=depth,
+                      op_index=op_index, host_index=host_index)
+
+
+def _flow_depths(plan: QueryPlan, op_index: dict[str, int]) -> list[int]:
+    """Longest distance from any source, per operator."""
+    depth = [0] * len(op_index)
+    for op_id in plan.topological_order():
+        parents = plan.parents(op_id)
+        if parents:
+            depth[op_index[op_id]] = 1 + max(depth[op_index[p]]
+                                             for p in parents)
+    return depth
+
+
+# ----------------------------------------------------------------------
+# Batching
+# ----------------------------------------------------------------------
+def collate(graphs: list[QueryGraph]) -> GraphBatch:
+    """Merge graphs into one disjoint union with stage index arrays."""
+    if not graphs:
+        raise ValueError("cannot collate an empty list of graphs")
+    offsets = np.cumsum([0] + [g.n_nodes for g in graphs])
+    n_nodes = int(offsets[-1])
+    graph_id = np.empty(n_nodes, dtype=np.int64)
+    node_types: list[str] = []
+    for i, graph in enumerate(graphs):
+        graph_id[offsets[i]:offsets[i + 1]] = i
+        node_types.extend(graph.node_types)
+
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        rows = [j for j, t in enumerate(node_types) if t == node_type]
+        if not rows:
+            continue
+        type_rows[node_type] = np.asarray(rows, dtype=np.int64)
+        stacked = []
+        for i, graph in enumerate(graphs):
+            stacked.extend(
+                graph.features[j] for j, t in enumerate(graph.node_types)
+                if t == node_type)
+        type_features[node_type] = np.vstack(stacked)
+
+    placement_src, placement_dst = _offset_edges(
+        graphs, offsets, lambda g: g.placement_edges)
+    flow_src, flow_dst = _offset_edges(graphs, offsets,
+                                       lambda g: g.flow_edges)
+
+    ops_to_hw = _stage_slices(node_types, placement_src, placement_dst,
+                              restrict_types=("host",))
+    hw_to_ops = _stage_slices(node_types, placement_dst, placement_src,
+                              restrict_types=None)
+
+    max_depth = max(g.max_depth for g in graphs)
+    depth = np.concatenate([np.asarray(g.flow_depth) for g in graphs])
+    flow_levels: list[dict[str, StageSlice]] = []
+    for level in range(1, max_depth + 1):
+        at_level = depth[flow_dst] == level
+        flow_levels.append(_stage_slices(node_types, flow_src[at_level],
+                                         flow_dst[at_level],
+                                         restrict_types=None))
+
+    # Symmetric neighborhood (traditional message passing ablation):
+    # flow and placement edges in both directions.
+    all_src = np.concatenate([flow_src, flow_dst, placement_src,
+                              placement_dst])
+    all_dst = np.concatenate([flow_dst, flow_src, placement_dst,
+                              placement_src])
+    neighbor_rounds = _stage_slices(node_types, all_src, all_dst,
+                                    restrict_types=None,
+                                    include_isolated=True)
+
+    return GraphBatch(n_nodes=n_nodes, n_graphs=len(graphs),
+                      graph_id=graph_id, type_rows=type_rows,
+                      type_features=type_features, ops_to_hw=ops_to_hw,
+                      hw_to_ops=hw_to_ops, flow_levels=flow_levels,
+                      neighbor_rounds=neighbor_rounds)
+
+
+def _offset_edges(graphs, offsets, selector):
+    src: list[int] = []
+    dst: list[int] = []
+    for i, graph in enumerate(graphs):
+        for a, b in selector(graph):
+            src.append(a + offsets[i])
+            dst.append(b + offsets[i])
+    return (np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64))
+
+
+def _stage_slices(node_types: list[str], edge_src: np.ndarray,
+                  edge_dst: np.ndarray,
+                  restrict_types: tuple[str, ...] | None,
+                  include_isolated: bool = False) -> dict[str, StageSlice]:
+    """Group one edge set by receiver node type."""
+    slices: dict[str, StageSlice] = {}
+    types = restrict_types or NODE_TYPES
+    for node_type in types:
+        if include_isolated:
+            recv = np.asarray([j for j, t in enumerate(node_types)
+                               if t == node_type], dtype=np.int64)
+            if recv.size == 0:
+                continue
+        else:
+            recv = np.unique(edge_dst[[node_types[d] == node_type
+                                       for d in edge_dst]]) \
+                if edge_dst.size else np.asarray([], dtype=np.int64)
+            if recv.size == 0:
+                continue
+        position = {int(r): k for k, r in enumerate(recv)}
+        mask = np.asarray([node_types[d] == node_type for d in edge_dst],
+                          dtype=bool) if edge_dst.size else \
+            np.asarray([], dtype=bool)
+        src = edge_src[mask] if edge_src.size else edge_src
+        seg = np.asarray([position[int(d)] for d in edge_dst[mask]],
+                         dtype=np.int64) if edge_dst.size else \
+            np.asarray([], dtype=np.int64)
+        slices[node_type] = StageSlice(recv_rows=recv, edge_src=src,
+                                       edge_seg=seg)
+    return slices

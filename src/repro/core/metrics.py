@@ -1,0 +1,69 @@
+"""Evaluation metrics: q-error and classification accuracy.
+
+The paper reports the median (Q50) and 95th percentile (Q95) of the
+q-error for regression metrics, and plain accuracy (on class-balanced
+test sets) for the binary metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["q_error", "q_error_percentiles", "classification_accuracy",
+           "balance_classes"]
+
+#: Floor applied to costs before computing the q-error; avoids division
+#: blow-ups for near-zero labels/predictions.
+_EPSILON = 1e-2
+
+
+def q_error(true_values: np.ndarray,
+            predicted_values: np.ndarray) -> np.ndarray:
+    """Elementwise q-error ``max(c/chat, chat/c) >= 1``."""
+    true_values = np.maximum(np.asarray(true_values, dtype=np.float64),
+                             _EPSILON)
+    predicted_values = np.maximum(
+        np.asarray(predicted_values, dtype=np.float64), _EPSILON)
+    ratio = true_values / predicted_values
+    return np.maximum(ratio, 1.0 / ratio)
+
+
+def q_error_percentiles(true_values: np.ndarray,
+                        predicted_values: np.ndarray,
+                        percentiles: tuple[float, ...] = (50.0, 95.0)
+                        ) -> dict[str, float]:
+    """Named q-error percentiles, e.g. ``{"q50": 1.3, "q95": 5.6}``."""
+    errors = q_error(true_values, predicted_values)
+    return {f"q{int(p)}": float(np.percentile(errors, p))
+            for p in percentiles}
+
+
+def classification_accuracy(true_labels: np.ndarray,
+                            predicted_labels: np.ndarray) -> float:
+    """Fraction of correctly classified queries."""
+    true_labels = np.asarray(true_labels).astype(bool)
+    predicted_labels = np.asarray(predicted_labels).astype(bool)
+    if true_labels.size == 0:
+        return float("nan")
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def balance_classes(labels: np.ndarray,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Indices of a class-balanced subset (paper's evaluation protocol).
+
+    Returns indices selecting an equal number of positive and negative
+    examples (all of the minority class, a random subset of the
+    majority).  If a class is absent, all indices are returned.
+    """
+    labels = np.asarray(labels).astype(bool)
+    rng = rng or np.random.default_rng(0)
+    positives = np.nonzero(labels)[0]
+    negatives = np.nonzero(~labels)[0]
+    if positives.size == 0 or negatives.size == 0:
+        return np.arange(labels.size)
+    keep = min(positives.size, negatives.size)
+    chosen = np.concatenate([
+        rng.permutation(positives)[:keep],
+        rng.permutation(negatives)[:keep]])
+    return np.sort(chosen)

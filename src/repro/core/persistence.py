@@ -1,0 +1,77 @@
+"""Saving and loading trained COSTREAM models.
+
+The paper ships trained models alongside its trace corpus; this module
+gives the reproduction the same property.  A :class:`Costream` instance
+round-trips through a single ``.npz`` file: a JSON header describing
+the configuration (metrics, ensemble sizes, featurization mode,
+training hyper-parameters) plus one array per network parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .costream import Costream
+from .ensemble import MetricEnsemble
+from .features import Featurizer
+from .training import TrainingConfig
+
+__all__ = ["save_costream", "load_costream"]
+
+_HEADER_KEY = "__costream_header__"
+_FORMAT_VERSION = 1
+
+
+def save_costream(model: Costream, path: str | Path) -> None:
+    """Persist a trained model to ``path`` (single .npz file)."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "featurizer_mode": model.featurizer.mode,
+        "config": dataclasses.asdict(model.config),
+        "ensembles": {
+            metric: {"size": ensemble.size,
+                     "seeds": [m.seed for m in ensemble.members]}
+            for metric, ensemble in model.ensembles.items()},
+    }
+    arrays: dict[str, np.ndarray] = {
+        _HEADER_KEY: np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+    for metric, ensemble in model.ensembles.items():
+        for index, member in enumerate(ensemble.members):
+            for key, value in member.network.state_dict().items():
+                arrays[f"{metric}/{index}/{key}"] = value
+    with Path(path).open("wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_costream(path: str | Path) -> Costream:
+    """Rebuild a :func:`save_costream`-persisted model."""
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+        if header["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {header['format_version']}")
+        config = TrainingConfig(**header["config"])
+        featurizer = Featurizer(header["featurizer_mode"])
+        metrics = tuple(header["ensembles"])
+        model = Costream(metrics=metrics, ensemble_size=1, config=config,
+                         featurizer=featurizer)
+        for metric, info in header["ensembles"].items():
+            ensemble = MetricEnsemble(metric, size=info["size"],
+                                      config=config,
+                                      featurizer=featurizer)
+            for index, member in enumerate(ensemble.members):
+                member.seed = info["seeds"][index]
+                state = {
+                    key.split("/", 2)[2]: archive[key]
+                    for key in archive.files
+                    if key.startswith(f"{metric}/{index}/")}
+                member.network.load_state_dict(state)
+                member.network.eval()
+            model.ensembles[metric] = ensemble
+    return model

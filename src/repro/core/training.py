@@ -1,0 +1,212 @@
+"""Training of single-metric COSTREAM cost models.
+
+Each of the five cost metrics gets its own GNN (Section IV-A): MSLE
+loss for the regression metrics (throughput, latencies), binary cross
+entropy for backpressure occurrence and query success.  Training uses
+Adam with gradient clipping, mini-batched graph collation, and early
+stopping on a validation split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Adam, Tensor, bce_with_logits_loss, clip_grad_norm, \
+    mse_loss, msle_loss
+from ..simulator.result import METRIC_NAMES, REGRESSION_METRICS
+from .features import Featurizer
+from .graph import QueryGraph, collate
+from .model import CostreamGNN
+
+__all__ = ["TrainingConfig", "CostModel", "TrainingHistory"]
+
+
+def _oversampled_pool(labels: np.ndarray) -> np.ndarray:
+    """Row indices with the minority class replicated to near parity."""
+    labels = np.asarray(labels) >= 0.5
+    positives = np.nonzero(labels)[0]
+    negatives = np.nonzero(~labels)[0]
+    if positives.size == 0 or negatives.size == 0:
+        return np.arange(labels.size)
+    minority, majority = sorted((positives, negatives), key=len)
+    repeats = max(1, majority.size // max(minority.size, 1))
+    return np.concatenate([majority] + [minority] * repeats)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for one cost-model training run."""
+
+    hidden_dim: int = 48
+    epochs: int = 60
+    batch_size: int = 64
+    learning_rate: float = 3e-3
+    lr_decay: float = 0.5       # multiplier applied every lr_decay_every
+    lr_decay_every: int = 20    # epochs between learning-rate decays
+    weight_decay: float = 1e-5
+    grad_clip: float = 5.0
+    patience: int = 12          # early-stopping patience, in epochs
+    val_fraction: float = 0.1   # used when no explicit val set is given
+    scheme: str = "staged"      # or "traditional" (Exp 7b)
+    loss: str = "auto"          # "msle" | "mse" | "bce" | "auto"
+    dropout: float = 0.0
+    balance_classes: bool = True  # oversample minority class (binary)
+
+
+@dataclass
+class TrainingHistory:
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+
+class CostModel:
+    """One trained GNN predicting one cost metric."""
+
+    def __init__(self, metric: str, config: TrainingConfig | None = None,
+                 featurizer: Featurizer | None = None, seed: int = 0):
+        if metric not in METRIC_NAMES:
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.config = config or TrainingConfig()
+        self.featurizer = featurizer or Featurizer()
+        self.seed = seed
+        self.network = CostreamGNN(self.featurizer,
+                                   hidden_dim=self.config.hidden_dim,
+                                   seed=seed, scheme=self.config.scheme,
+                                   dropout=self.config.dropout)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_regression(self) -> bool:
+        return self.metric in REGRESSION_METRICS
+
+    def _loss(self, output: Tensor, labels: np.ndarray) -> Tensor:
+        loss_kind = self.config.loss
+        if loss_kind == "auto":
+            loss_kind = "msle" if self.is_regression else "bce"
+        if loss_kind == "msle":
+            return msle_loss(output, labels)
+        if loss_kind == "mse":
+            # Ablation: regress log-space output against raw labels.
+            return mse_loss(output, labels)
+        if loss_kind == "bce":
+            return bce_with_logits_loss(output, labels)
+        raise ValueError(f"unknown loss {loss_kind!r}")
+
+    # ------------------------------------------------------------------
+    def fit(self, graphs: list[QueryGraph], labels: np.ndarray,
+            val_graphs: list[QueryGraph] | None = None,
+            val_labels: np.ndarray | None = None,
+            epochs: int | None = None) -> TrainingHistory:
+        """Train until convergence or the epoch budget is exhausted."""
+        labels = np.asarray(labels, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        if val_graphs is None:
+            # A too-small validation split makes early stopping pick an
+            # arbitrary epoch; hold out at least ~20 graphs when the
+            # dataset affords it.
+            n_val = max(1, int(len(graphs) * self.config.val_fraction),
+                        min(20, len(graphs) // 5))
+            order = rng.permutation(len(graphs))
+            val_rows, train_rows = order[:n_val], order[n_val:]
+            val_graphs = [graphs[i] for i in val_rows]
+            val_labels = labels[val_rows]
+            graphs = [graphs[i] for i in train_rows]
+            labels = labels[train_rows]
+
+        optimizer = Adam(self.network.parameters(),
+                         lr=self.config.learning_rate,
+                         weight_decay=self.config.weight_decay)
+        best_val = float("inf")
+        best_state = self.network.state_dict()
+        epochs_since_best = 0
+        budget = epochs if epochs is not None else self.config.epochs
+
+        # Binary labels are heavily imbalanced in the corpus (failures
+        # and backpressure are the minority); oversample the minority
+        # class so the classifier cannot win by always predicting the
+        # majority.
+        sample_pool = np.arange(len(graphs))
+        if not self.is_regression and self.config.balance_classes:
+            sample_pool = _oversampled_pool(labels)
+
+        self.network.train()
+        for epoch in range(budget):
+            optimizer.lr = self.config.learning_rate * (
+                self.config.lr_decay ** (epoch // self.config.lr_decay_every))
+            order = sample_pool[rng.permutation(len(sample_pool))]
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(order), self.config.batch_size):
+                rows = order[start:start + self.config.batch_size]
+                batch = collate([graphs[i] for i in rows])
+                output = self.network(batch)
+                loss = self._loss(output, labels[rows])
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.network.parameters(),
+                               self.config.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            self.history.train_loss.append(epoch_loss / max(n_batches, 1))
+
+            val_loss = self.evaluate_loss(val_graphs, val_labels)
+            self.history.val_loss.append(val_loss)
+            if val_loss < best_val - 1e-6:
+                best_val = val_loss
+                best_state = self.network.state_dict()
+                self.history.best_epoch = epoch
+                epochs_since_best = 0
+            else:
+                epochs_since_best += 1
+                if epochs_since_best >= self.config.patience:
+                    break
+        self.network.load_state_dict(best_state)
+        self.network.eval()
+        return self.history
+
+    def fine_tune(self, graphs: list[QueryGraph], labels: np.ndarray,
+                  epochs: int = 15) -> TrainingHistory:
+        """Few-shot adaptation on a small extra corpus (Exp 5b)."""
+        return self.fit(graphs, labels, epochs=epochs)
+
+    # ------------------------------------------------------------------
+    def evaluate_loss(self, graphs: list[QueryGraph],
+                      labels: np.ndarray) -> float:
+        self.network.eval()
+        total = 0.0
+        count = 0
+        batch_size = self.config.batch_size
+        for start in range(0, len(graphs), batch_size):
+            chunk = graphs[start:start + batch_size]
+            batch = collate(chunk)
+            output = self.network(batch)
+            loss = self._loss(output, labels[start:start + batch_size])
+            total += loss.item() * len(chunk)
+            count += len(chunk)
+        self.network.train()
+        return total / max(count, 1)
+
+    def predict_raw(self, graphs: list[QueryGraph]) -> np.ndarray:
+        """Network outputs: log1p costs (regression) or logits."""
+        self.network.eval()
+        outputs: list[np.ndarray] = []
+        batch_size = self.config.batch_size
+        for start in range(0, len(graphs), batch_size):
+            batch = collate(graphs[start:start + batch_size])
+            outputs.append(np.atleast_1d(self.network(batch).numpy()))
+        return np.concatenate(outputs)
+
+    def predict(self, graphs: list[QueryGraph]) -> np.ndarray:
+        """Predictions in label space: costs, or class probabilities."""
+        raw = self.predict_raw(graphs)
+        if self.is_regression and self.config.loss != "mse":
+            return np.expm1(np.clip(raw, 0.0, 30.0))
+        if self.is_regression:
+            return np.maximum(raw, 0.0)
+        return 1.0 / (1.0 + np.exp(-raw))

@@ -1,0 +1,7 @@
+"""Trace-corpus collection and serialization."""
+
+from .collection import BenchmarkCollector, QueryTrace
+from .corpus import load_corpus, save_corpus, trace_from_dict, trace_to_dict
+
+__all__ = ["BenchmarkCollector", "QueryTrace", "load_corpus", "save_corpus",
+           "trace_from_dict", "trace_to_dict"]

@@ -1,0 +1,105 @@
+"""Cost-estimation benchmark collection (paper Section VI).
+
+The paper's benchmark is a corpus of 43k query traces executed on
+CloudLab.  :class:`BenchmarkCollector` reproduces the pipeline on the
+simulated substrate: sample a query from the Table II grids, sample a
+heterogeneous cluster, sample a heuristic placement candidate, execute
+it on the simulator, estimate selectivities from stream samples, and
+record everything as a :class:`QueryTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import (HardwareRanges, WorkloadRanges,
+                      default_hardware_ranges, default_workload_ranges)
+from ..hardware.cluster import Cluster, sample_cluster
+from ..hardware.placement import Placement
+from ..placement.enumeration import HeuristicPlacementEnumerator
+from ..query.generator import QueryGenerator
+from ..query.plan import QueryPlan
+from ..simulator.config import SimulationConfig
+from ..simulator.result import QueryMetrics
+from ..simulator.runtime import DSPSSimulator
+from ..simulator.selectivity import SelectivityEstimator
+
+__all__ = ["QueryTrace", "BenchmarkCollector"]
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """One executed (query, placement, cluster) with its cost labels."""
+
+    plan: QueryPlan
+    placement: Placement
+    cluster: Cluster
+    metrics: QueryMetrics
+    selectivities: dict[str, float]  # *estimated*, as the model sees them
+
+    @property
+    def query_type(self) -> str:
+        return self.plan.name
+
+
+class BenchmarkCollector:
+    """Builds corpora of simulated query traces."""
+
+    def __init__(self, workload_ranges: WorkloadRanges | None = None,
+                 hardware_ranges: HardwareRanges | None = None,
+                 sim_config: SimulationConfig | None = None,
+                 cluster_size: tuple[int, int] = (3, 8),
+                 seed: int = 0):
+        self.workload_ranges = workload_ranges or default_workload_ranges()
+        self.hardware_ranges = hardware_ranges or default_hardware_ranges()
+        self.sim_config = sim_config or SimulationConfig()
+        self.cluster_size = cluster_size
+        self._rng = np.random.default_rng(seed)
+        self._generator = QueryGenerator(self.workload_ranges,
+                                         seed=self._rng)
+        self._simulator = DSPSSimulator(self.sim_config)
+        self._estimator = SelectivityEstimator(seed=self._rng)
+        self._trace_counter = 0
+
+    # ------------------------------------------------------------------
+    def collect(self, n_traces: int,
+                plan_factory=None,
+                cluster_factory=None) -> list[QueryTrace]:
+        """Collect ``n_traces`` traces.
+
+        ``plan_factory`` / ``cluster_factory`` override the default
+        random generators — the generalization experiments use them to
+        inject unseen query patterns or out-of-range hardware.
+        """
+        traces = []
+        for _ in range(n_traces):
+            traces.append(self.collect_one(plan_factory, cluster_factory))
+        return traces
+
+    def collect_one(self, plan_factory=None,
+                    cluster_factory=None) -> QueryTrace:
+        plan = plan_factory(self._rng) if plan_factory \
+            else self._generator.generate()
+        cluster = cluster_factory(self._rng) if cluster_factory \
+            else self._sample_cluster()
+        enumerator = HeuristicPlacementEnumerator(
+            cluster, self.hardware_ranges, seed=self._rng)
+        placement = enumerator.sample(plan)
+        return self.execute(plan, placement, cluster)
+
+    def execute(self, plan: QueryPlan, placement: Placement,
+                cluster: Cluster) -> QueryTrace:
+        """Run one fully-specified trace through the simulator."""
+        self._trace_counter += 1
+        metrics = self._simulator.run(plan, placement, cluster,
+                                      seed=self._trace_counter)
+        selectivities = self._estimator.estimate(plan)
+        return QueryTrace(plan=plan, placement=placement, cluster=cluster,
+                          metrics=metrics, selectivities=selectivities)
+
+    def _sample_cluster(self) -> Cluster:
+        low, high = self.cluster_size
+        size = int(self._rng.integers(low, high + 1))
+        return sample_cluster(self._rng, size, self.hardware_ranges)

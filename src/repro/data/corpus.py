@@ -1,0 +1,141 @@
+"""JSONL (de)serialization of query-trace corpora.
+
+The paper releases its benchmark as downloadable trace data; this
+module gives the reproduction the same property: corpora collected by
+:class:`~repro.data.collection.BenchmarkCollector` round-trip through a
+newline-delimited JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..hardware.cluster import Cluster
+from ..hardware.node import HardwareNode
+from ..hardware.placement import Placement
+from ..query.datatypes import DataType, TupleSchema
+from ..query.operators import (Filter, Operator, Sink, Source, Window,
+                               WindowedAggregate, WindowedJoin)
+from ..query.plan import QueryPlan
+from ..simulator.result import QueryMetrics
+from .collection import QueryTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_corpus", "load_corpus"]
+
+
+def _operator_to_dict(operator: Operator) -> dict:
+    record: dict = {"op_id": operator.op_id,
+                    "kind": operator.kind.value}
+    if isinstance(operator, Source):
+        record["event_rate"] = operator.event_rate
+        record["schema"] = [c.value for c in operator.schema.columns]
+    elif isinstance(operator, Filter):
+        record["function"] = operator.function
+        record["literal_type"] = operator.literal_type.value
+        record["selectivity"] = operator.selectivity
+    elif isinstance(operator, WindowedAggregate):
+        record["window"] = _window_to_dict(operator.window)
+        record["agg_function"] = operator.agg_function
+        record["agg_type"] = operator.agg_type.value
+        record["group_by_type"] = (operator.group_by_type.value
+                                   if operator.group_by_type else None)
+        record["selectivity"] = operator.selectivity
+    elif isinstance(operator, WindowedJoin):
+        record["window"] = _window_to_dict(operator.window)
+        record["key_type"] = operator.key_type.value
+        record["selectivity"] = operator.selectivity
+    elif isinstance(operator, Sink):
+        pass
+    else:
+        raise TypeError(f"cannot serialize operator {operator!r}")
+    return record
+
+
+def _window_to_dict(window: Window) -> dict:
+    return {"window_type": window.window_type, "policy": window.policy,
+            "size": window.size, "slide": window.slide}
+
+
+def _window_from_dict(record: dict) -> Window:
+    return Window(record["window_type"], record["policy"],
+                  record["size"], record["slide"])
+
+
+def _operator_from_dict(record: dict) -> Operator:
+    kind = record["kind"]
+    op_id = record["op_id"]
+    if kind == "source":
+        schema = TupleSchema(tuple(DataType(c) for c in record["schema"]))
+        return Source(op_id, record["event_rate"], schema)
+    if kind == "filter":
+        return Filter(op_id, record["function"],
+                      DataType(record["literal_type"]),
+                      record["selectivity"])
+    if kind == "aggregate":
+        group_by = record["group_by_type"]
+        return WindowedAggregate(
+            op_id, _window_from_dict(record["window"]),
+            record["agg_function"], DataType(record["agg_type"]),
+            DataType(group_by) if group_by else None,
+            record["selectivity"])
+    if kind == "join":
+        return WindowedJoin(op_id, _window_from_dict(record["window"]),
+                            DataType(record["key_type"]),
+                            record["selectivity"])
+    if kind == "sink":
+        return Sink(op_id)
+    raise ValueError(f"unknown operator kind {kind!r}")
+
+
+def trace_to_dict(trace: QueryTrace) -> dict:
+    return {
+        "plan": {
+            "name": trace.plan.name,
+            "operators": [_operator_to_dict(o)
+                          for o in trace.plan.operators.values()],
+            "edges": trace.plan.edges,
+        },
+        "placement": dict(trace.placement.assignment),
+        "cluster": [node.features() | {"node_id": node.node_id}
+                    for node in trace.cluster.nodes],
+        "metrics": trace.metrics.as_dict(),
+        "selectivities": trace.selectivities,
+    }
+
+
+def trace_from_dict(record: dict) -> QueryTrace:
+    plan = QueryPlan(
+        [_operator_from_dict(o) for o in record["plan"]["operators"]],
+        [tuple(edge) for edge in record["plan"]["edges"]],
+        name=record["plan"]["name"])
+    cluster = Cluster([
+        HardwareNode(node["node_id"], cpu=node["cpu"],
+                     ram_mb=node["ram_mb"],
+                     bandwidth_mbits=node["bandwidth_mbits"],
+                     latency_ms=node["latency_ms"])
+        for node in record["cluster"]])
+    return QueryTrace(plan=plan,
+                      placement=Placement(record["placement"]),
+                      cluster=cluster,
+                      metrics=QueryMetrics.from_dict(record["metrics"]),
+                      selectivities=dict(record["selectivities"]))
+
+
+def save_corpus(traces: list[QueryTrace], path: str | Path) -> None:
+    """Write a corpus as newline-delimited JSON."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(json.dumps(trace_to_dict(trace)) + "\n")
+
+
+def load_corpus(path: str | Path) -> list[QueryTrace]:
+    """Read a corpus written by :func:`save_corpus`."""
+    traces: list[QueryTrace] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                traces.append(trace_from_dict(json.loads(line)))
+    return traces

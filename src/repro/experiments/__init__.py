@@ -1,0 +1,27 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .context import ExperimentContext, get_context
+from .evaluation import evaluate_models
+from .exp1_accuracy import run_hardware_groups, run_overall, run_query_types
+from .exp2_placement import run_monitoring, run_speedups
+from .exp3_interpolation import INTERPOLATION_RANGES, run_interpolation
+from .exp4_extrapolation import EXTRAPOLATION_SETUPS, run_extrapolation
+from .exp5_patterns import run_chains, run_finetuning
+from .exp6_benchmarks import run_benchmarks
+from .exp7_ablations import (run_capacity, run_ensemble_size,
+                             run_featurization, run_loss_ablation,
+                             run_message_passing)
+from .exp_headline import run_headline
+from .reporting import format_table
+from .scale import SCALES, ExperimentScale, get_scale
+
+__all__ = [
+    "ExperimentContext", "get_context", "evaluate_models",
+    "run_hardware_groups", "run_overall", "run_query_types",
+    "run_monitoring", "run_speedups", "INTERPOLATION_RANGES",
+    "run_interpolation", "EXTRAPOLATION_SETUPS", "run_extrapolation",
+    "run_chains", "run_finetuning", "run_benchmarks", "run_capacity",
+    "run_ensemble_size", "run_featurization", "run_loss_ablation",
+    "run_message_passing", "run_headline", "format_table", "SCALES",
+    "ExperimentScale", "get_scale",
+]

@@ -1,0 +1,91 @@
+"""Command-line experiment runner.
+
+Regenerate any paper artifact from the shell::
+
+    python -m repro.experiments table3            # Exp 1 overall
+    python -m repro.experiments fig9 --scale tiny
+    python -m repro.experiments all --scale small
+
+Heavy artifacts (corpus, trained models) are shared across experiments
+within one invocation, so ``all`` trains each model once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (format_table, get_context, run_benchmarks, run_capacity,
+               run_chains, run_ensemble_size, run_extrapolation,
+               run_featurization, run_finetuning, run_hardware_groups,
+               run_headline, run_interpolation, run_loss_ablation,
+               run_message_passing, run_monitoring, run_overall,
+               run_query_types, run_speedups)
+
+_EXPERIMENTS = {
+    "fig1": ("Fig. 1 — headline comparison (E2E-latency q50)",
+             run_headline),
+    "table3": ("Table III — overall accuracy", run_overall),
+    "fig7": ("Fig. 7 — accuracy by hardware ranges", run_hardware_groups),
+    "fig8": ("Fig. 8 — accuracy by query type", run_query_types),
+    "fig9": ("Fig. 9 — placement speed-ups", run_speedups),
+    "fig10": ("Fig. 10 — online monitoring baseline", run_monitoring),
+    "table4": ("Table IV — hardware interpolation", run_interpolation),
+    "table5a": ("Table V A — extrapolation (stronger)",
+                lambda ctx: run_extrapolation(ctx, "stronger")),
+    "table5b": ("Table V B — extrapolation (weaker)",
+                lambda ctx: run_extrapolation(ctx, "weaker")),
+    "table6a": ("Table VI A — unseen query patterns", run_chains),
+    "fig11": ("Fig. 11 — few-shot fine-tuning", run_finetuning),
+    "table6b": ("Table VI B — unseen benchmarks", run_benchmarks),
+    "fig12": ("Fig. 12 — featurization ablation", run_featurization),
+    "fig13": ("Fig. 13 — message-passing ablation", run_message_passing),
+    "ensemble": ("Ablation — ensemble size", run_ensemble_size),
+    "loss": ("Ablation — MSLE vs MSE", run_loss_ablation),
+    "capacity": ("Ablation — hidden dimension", run_capacity),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate COSTREAM paper artifacts.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all", "report"],
+                        help="artifact to regenerate, or 'report' to "
+                             "render the full EXPERIMENTS.md document")
+    parser.add_argument("--scale", default=None,
+                        choices=["tiny", "small", "full"],
+                        help="experiment scale (default: $REPRO_SCALE "
+                             "or 'small')")
+    parser.add_argument("--output", default=None,
+                        help="write the 'report' output to this file")
+    args = parser.parse_args(argv)
+
+    context = get_context(args.scale)
+    if args.experiment == "report":
+        from .report import generate_report
+
+        text = generate_report(context)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        title, runner = _EXPERIMENTS[name]
+        start = time.time()
+        rows = runner(context)
+        print(format_table(rows, title=title))
+        print(f"[{name}: {time.time() - start:.0f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Shared, lazily-built experiment artifacts.
+
+Most experiments need the same expensive pieces: the training corpus,
+the five trained COSTREAM models, the flat-vector baseline, and (for
+placement experiments) a latency-model ensemble.  The
+:class:`ExperimentContext` builds each piece on first use and caches it
+for the rest of the process, so running all benchmark files in one
+pytest session trains each model exactly once.
+"""
+
+from __future__ import annotations
+
+from ..baselines.flat_vector import FlatVectorModel
+from ..core.costream import Costream
+from ..core.dataset import split_traces
+from ..core.features import Featurizer
+from ..core.training import TrainingConfig
+from ..data.collection import BenchmarkCollector, QueryTrace
+from ..simulator.result import METRIC_NAMES
+from .scale import ExperimentScale, get_scale
+
+__all__ = ["ExperimentContext", "get_context"]
+
+_CONTEXTS: dict[str, "ExperimentContext"] = {}
+
+
+def get_context(scale_name: str | None = None) -> "ExperimentContext":
+    """Process-wide context cache, one per scale preset."""
+    scale = get_scale(scale_name)
+    if scale.name not in _CONTEXTS:
+        _CONTEXTS[scale.name] = ExperimentContext(scale)
+    return _CONTEXTS[scale.name]
+
+
+class ExperimentContext:
+    """Lazily-built corpus, models and baselines for one scale preset."""
+
+    def __init__(self, scale: ExperimentScale, seed: int = 17):
+        self.scale = scale
+        self.seed = seed
+        self._corpus: tuple[list[QueryTrace], list[QueryTrace],
+                            list[QueryTrace]] | None = None
+        self._costream: Costream | None = None
+        self._flat_vector: FlatVectorModel | None = None
+        self._placement_model: Costream | None = None
+
+    # ------------------------------------------------------------------
+    def training_config(self, **overrides) -> TrainingConfig:
+        defaults = dict(hidden_dim=self.scale.hidden_dim,
+                        epochs=self.scale.epochs)
+        defaults.update(overrides)
+        return TrainingConfig(**defaults)
+
+    def collector(self, **kwargs) -> BenchmarkCollector:
+        kwargs.setdefault("seed", self.seed)
+        return BenchmarkCollector(**kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> tuple[list[QueryTrace], list[QueryTrace],
+                              list[QueryTrace]]:
+        """(train, val, test) splits of the main synthetic corpus."""
+        if self._corpus is None:
+            traces = self.collector().collect(self.scale.corpus_size)
+            self._corpus = split_traces(traces, seed=self.seed)
+        return self._corpus
+
+    @property
+    def train_traces(self) -> list[QueryTrace]:
+        return self.corpus[0]
+
+    @property
+    def val_traces(self) -> list[QueryTrace]:
+        return self.corpus[1]
+
+    @property
+    def test_traces(self) -> list[QueryTrace]:
+        return self.corpus[2]
+
+    # ------------------------------------------------------------------
+    @property
+    def costream(self) -> Costream:
+        """All five single-model metric heads (accuracy experiments)."""
+        if self._costream is None:
+            model = Costream(metrics=METRIC_NAMES, ensemble_size=1,
+                             config=self.training_config(),
+                             featurizer=Featurizer("full"), seed=self.seed)
+            model.fit(self.train_traces, self.val_traces)
+            self._costream = model
+        return self._costream
+
+    @property
+    def flat_vector(self) -> FlatVectorModel:
+        """The Ganapathi-style baseline, trained on the same corpus."""
+        if self._flat_vector is None:
+            self._flat_vector = FlatVectorModel(seed=self.seed).fit(
+                self.train_traces)
+        return self._flat_vector
+
+    @property
+    def placement_model(self) -> Costream:
+        """Latency ensemble + feasibility classifiers (Exp 2)."""
+        if self._placement_model is None:
+            model = Costream(
+                metrics=("processing_latency", "success", "backpressure"),
+                ensemble_size=self.scale.ensemble_size,
+                config=self.training_config(),
+                featurizer=Featurizer("full"), seed=self.seed + 7)
+            model.fit(self.train_traces, self.val_traces)
+            self._placement_model = model
+        return self._placement_model

@@ -1,0 +1,88 @@
+"""Shared evaluation helpers: COSTREAM vs flat vector on a trace set."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.flat_vector import FlatVectorModel
+from ..core.costream import Costream
+from ..core.dataset import GraphDataset
+from ..core.metrics import (balance_classes, classification_accuracy,
+                            q_error_percentiles)
+from ..data.collection import QueryTrace
+from ..simulator.result import METRIC_NAMES, REGRESSION_METRICS
+
+__all__ = ["evaluate_models", "METRIC_LABELS"]
+
+#: Human-readable metric names used in reported tables.
+METRIC_LABELS = {
+    "throughput": "Throughput",
+    "e2e_latency": "E2E-latency",
+    "processing_latency": "Processing latency",
+    "backpressure": "Backpressure",
+    "success": "Query success",
+}
+
+
+def evaluate_models(costream: Costream | None,
+                    flat_vector: FlatVectorModel | None,
+                    traces: list[QueryTrace],
+                    metrics: tuple[str, ...] = METRIC_NAMES,
+                    balance: bool = True, seed: int = 0) -> list[dict]:
+    """Per-metric comparison rows (q50/q95 or balanced accuracy).
+
+    Either model may be ``None`` (its columns are omitted).  Regression
+    metrics are evaluated on successful traces only; classification
+    metrics on class-balanced subsets when ``balance`` is set, matching
+    the paper's protocol.
+    """
+    dataset = (GraphDataset.from_traces(traces, costream.featurizer)
+               if costream else None)
+    rng = np.random.default_rng(seed)
+    rows: list[dict] = []
+    success = np.asarray([t.metrics.success for t in traces], dtype=bool)
+    for metric in metrics:
+        labels = np.asarray([t.metrics.value(metric) for t in traces])
+        row: dict = {"metric": METRIC_LABELS.get(metric, metric)}
+        if metric in REGRESSION_METRICS:
+            keep = np.nonzero(success)[0]
+        else:
+            keep = (balance_classes(labels, rng) if balance
+                    else np.arange(len(traces)))
+        if keep.size == 0:
+            rows.append(row)
+            continue
+        if costream is not None:
+            row.update(_evaluate_costream(costream, dataset, metric, keep,
+                                          labels))
+        if flat_vector is not None:
+            row.update(_evaluate_flat(flat_vector, traces, metric, keep,
+                                      labels))
+        rows.append(row)
+    return rows
+
+
+def _evaluate_costream(costream: Costream, dataset: GraphDataset,
+                       metric: str, keep: np.ndarray,
+                       labels: np.ndarray) -> dict:
+    graphs = [dataset.graphs[i] for i in keep]
+    predictions = costream.predict_metric(metric, graphs)
+    if metric in REGRESSION_METRICS:
+        pct = q_error_percentiles(labels[keep], predictions)
+        return {"costream_q50": pct["q50"], "costream_q95": pct["q95"]}
+    accuracy = classification_accuracy(labels[keep] >= 0.5,
+                                       predictions >= 0.5)
+    return {"costream_acc": 100.0 * accuracy}
+
+
+def _evaluate_flat(flat_vector: FlatVectorModel, traces: list[QueryTrace],
+                   metric: str, keep: np.ndarray,
+                   labels: np.ndarray) -> dict:
+    subset = [traces[i] for i in keep]
+    predictions = flat_vector.predict_metric(metric, subset)
+    if metric in REGRESSION_METRICS:
+        pct = q_error_percentiles(labels[keep], predictions)
+        return {"flat_q50": pct["q50"], "flat_q95": pct["q95"]}
+    accuracy = classification_accuracy(labels[keep] >= 0.5,
+                                       predictions >= 0.5)
+    return {"flat_acc": 100.0 * accuracy}

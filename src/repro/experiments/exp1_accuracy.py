@@ -1,0 +1,106 @@
+"""Exp 1 — general prediction accuracy (Table III, Fig. 7, Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import GraphDataset
+from ..core.metrics import classification_accuracy, q_error
+from ..data.collection import QueryTrace
+from ..simulator.result import (CLASSIFICATION_METRICS, METRIC_NAMES,
+                                REGRESSION_METRICS)
+from .context import ExperimentContext
+from .evaluation import evaluate_models
+
+__all__ = ["run_overall", "run_hardware_groups", "run_query_types"]
+
+#: Fig. 7 dimensions and the node attribute they average over.
+_HARDWARE_DIMENSIONS = {
+    "cpu": "cpu",
+    "ram": "ram_mb",
+    "bandwidth": "bandwidth_mbits",
+    "latency": "latency_ms",
+}
+
+#: Fig. 8 query-type display order.
+_QUERY_TYPE_ORDER = ("linear", "linear+agg", "two-way-join",
+                     "two-way-join+agg", "three-way-join",
+                     "three-way-join+agg")
+
+
+def run_overall(context: ExperimentContext) -> list[dict]:
+    """Table III: overall test-set accuracy, COSTREAM vs flat vector."""
+    return evaluate_models(context.costream, context.flat_vector,
+                           context.test_traces)
+
+
+def _predict_all(context: ExperimentContext,
+                 traces: list[QueryTrace]) -> dict[str, np.ndarray]:
+    dataset = GraphDataset.from_traces(traces,
+                                       context.costream.featurizer)
+    return {metric: context.costream.predict_metric(metric, dataset.graphs)
+            for metric in METRIC_NAMES}
+
+
+def _grouped_rows(context: ExperimentContext, traces: list[QueryTrace],
+                  group_of, group_label: str,
+                  group_order=None) -> list[dict]:
+    """Median q-error + accuracy per group of test traces."""
+    predictions = _predict_all(context, traces)
+    labels = {metric: np.asarray([t.metrics.value(metric) for t in traces])
+              for metric in METRIC_NAMES}
+    success = labels["success"] >= 0.5
+    groups = np.asarray([group_of(t) for t in traces])
+
+    keys = (group_order if group_order is not None
+            else sorted(set(groups.tolist())))
+    rows: list[dict] = []
+    for key in keys:
+        member = groups == key
+        if not member.any():
+            continue
+        row: dict = {group_label: key, "n": int(member.sum())}
+        regression_rows = member & success
+        for metric in REGRESSION_METRICS:
+            if regression_rows.any():
+                errors = q_error(labels[metric][regression_rows],
+                                 predictions[metric][regression_rows])
+                row[f"q50_{metric}"] = float(np.median(errors))
+        for metric in CLASSIFICATION_METRICS:
+            accuracy = classification_accuracy(
+                labels[metric][member] >= 0.5,
+                predictions[metric][member] >= 0.5)
+            row[f"acc_{metric}"] = 100.0 * accuracy
+        rows.append(row)
+    return rows
+
+
+def run_hardware_groups(context: ExperimentContext) -> list[dict]:
+    """Fig. 7: accuracy grouped over hardware/network feature ranges."""
+    traces = context.test_traces
+    rows: list[dict] = []
+    for dimension, attribute in _HARDWARE_DIMENSIONS.items():
+        grid = {
+            "cpu": context.collector().hardware_ranges.cpu,
+            "ram": context.collector().hardware_ranges.ram_mb,
+            "bandwidth": context.collector().hardware_ranges.bandwidth_mbits,
+            "latency": context.collector().hardware_ranges.latency_ms,
+        }[dimension]
+        grid = np.asarray(grid, dtype=np.float64)
+
+        def group_of(trace, attribute=attribute, grid=grid):
+            values = [getattr(trace.cluster.node(n), attribute)
+                      for n in trace.placement.used_nodes()]
+            mean = float(np.mean(values))
+            return float(grid[np.argmin(np.abs(grid - mean))])
+
+        for row in _grouped_rows(context, traces, group_of, "group"):
+            rows.append({"dimension": dimension, **row})
+    return rows
+
+
+def run_query_types(context: ExperimentContext) -> list[dict]:
+    """Fig. 8: accuracy grouped over the six query-type templates."""
+    return _grouped_rows(context, context.test_traces,
+                         lambda t: t.plan.name, "query_type",
+                         group_order=_QUERY_TYPE_ORDER)

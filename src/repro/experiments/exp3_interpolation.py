@@ -1,0 +1,34 @@
+"""Exp 3 — hardware generalization by interpolation (Table IV).
+
+The model trained on the Table II hardware grids is evaluated on
+clusters whose features take *different* values inside the training
+range (Table IV A): e.g. 150% CPU when training saw 100% and 200%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import HardwareRanges
+from ..hardware.cluster import sample_cluster
+from .context import ExperimentContext
+from .evaluation import evaluate_models
+
+__all__ = ["INTERPOLATION_RANGES", "run_interpolation"]
+
+#: Table IV A — evaluation grids strictly inside the training range.
+INTERPOLATION_RANGES = HardwareRanges(
+    cpu=(75, 150, 250, 350, 450, 550, 650, 750),
+    ram_mb=(1500, 3000, 6000, 12000, 20000, 28000),
+    bandwidth_mbits=(35, 75, 150, 250, 550, 1200, 1900, 4800, 8000),
+    latency_ms=(3, 7, 15, 30, 60, 120),
+)
+
+
+def run_interpolation(context: ExperimentContext) -> list[dict]:
+    """Table IV B: accuracy on entirely unseen in-range hardware."""
+    collector = context.collector(hardware_ranges=INTERPOLATION_RANGES,
+                                  seed=context.seed + 301)
+    traces = collector.collect(context.scale.n_eval)
+    return evaluate_models(context.costream, context.flat_vector, traces,
+                           seed=context.seed)

@@ -1,0 +1,124 @@
+"""Exp 4 — hardware generalization by extrapolation (Table V).
+
+For each hardware dimension, COSTREAM is retrained on a *restricted*
+range and evaluated on values beyond it — towards stronger (Table V A)
+and weaker (Table V B) resources.  The other dimensions keep their
+training grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import HardwareRanges, default_hardware_ranges
+from ..core.costream import Costream
+from ..core.features import Featurizer
+from ..data.collection import BenchmarkCollector
+from ..hardware.cluster import Cluster
+from ..hardware.node import HardwareNode
+from .context import ExperimentContext
+from .evaluation import evaluate_models
+
+__all__ = ["EXTRAPOLATION_SETUPS", "run_extrapolation"]
+
+_FIELDS = {"cpu": "cpu", "ram": "ram_mb", "bandwidth": "bandwidth_mbits",
+           "latency": "latency_ms"}
+
+
+@dataclass(frozen=True)
+class ExtrapolationSetup:
+    """One (dimension, direction) restricted-training experiment."""
+
+    dimension: str
+    train_values: tuple[float, ...]
+    eval_values: tuple[float, ...]
+
+
+#: Table V A/B grids.  Note "stronger" means *lower* latency.
+EXTRAPOLATION_SETUPS: dict[str, list[ExtrapolationSetup]] = {
+    "stronger": [
+        ExtrapolationSetup("ram", (1000, 2000, 4000, 8000, 16000),
+                           (24000, 32000)),
+        ExtrapolationSetup("cpu", (50, 100, 200, 300, 400, 500, 600),
+                           (700, 800)),
+        ExtrapolationSetup("bandwidth",
+                           (25, 50, 100, 200, 400, 800, 1600, 3200),
+                           (6400, 10000)),
+        ExtrapolationSetup("latency", (5, 10, 20, 40, 80, 160), (1, 2)),
+    ],
+    "weaker": [
+        ExtrapolationSetup("ram", (4000, 8000, 16000, 24000, 32000),
+                           (1000, 2000)),
+        ExtrapolationSetup("cpu", (200, 300, 400, 500, 600, 700, 800),
+                           (50, 100)),
+        ExtrapolationSetup("bandwidth",
+                           (100, 200, 400, 800, 1600, 3200, 6400, 10000),
+                           (25, 50)),
+        ExtrapolationSetup("latency", (1, 2, 5, 10, 20, 40), (80, 160)),
+    ],
+}
+
+
+def run_extrapolation(context: ExperimentContext,
+                      direction: str) -> list[dict]:
+    """Table V (one direction): retrain restricted, evaluate beyond."""
+    if direction not in EXTRAPOLATION_SETUPS:
+        raise ValueError(f"direction must be one of "
+                         f"{sorted(EXTRAPOLATION_SETUPS)}")
+    scale = context.scale
+    rows: list[dict] = []
+    for setup in EXTRAPOLATION_SETUPS[direction]:
+        field = _FIELDS[setup.dimension]
+        train_ranges = default_hardware_ranges().restricted(
+            **{field: setup.train_values})
+        collector = context.collector(hardware_ranges=train_ranges,
+                                      seed=context.seed + 401)
+        train_traces = collector.collect(scale.restricted_corpus)
+
+        model = Costream(
+            ensemble_size=1,
+            config=context.training_config(epochs=scale.restricted_epochs),
+            featurizer=Featurizer("full"), seed=context.seed)
+        model.fit(train_traces)
+
+        eval_collector = context.collector(hardware_ranges=train_ranges,
+                                           seed=context.seed + 402)
+        eval_traces = eval_collector.collect(
+            scale.n_eval,
+            cluster_factory=_pinned_cluster_factory(
+                train_ranges, field, setup.eval_values))
+
+        for row in evaluate_models(model, None, eval_traces,
+                                   seed=context.seed):
+            rows.append({"direction": direction,
+                         "dimension": setup.dimension, **row})
+    return rows
+
+
+def _pinned_cluster_factory(train_ranges: HardwareRanges, field: str,
+                            eval_values: tuple[float, ...]):
+    """Clusters sampled from the training grids, except the target
+    dimension which only takes out-of-range evaluation values."""
+
+    def factory(rng: np.random.Generator) -> Cluster:
+        size = int(rng.integers(3, 9))
+        nodes = []
+        for i in range(size):
+            values = {
+                "cpu": float(train_ranges.cpu[
+                    rng.integers(len(train_ranges.cpu))]),
+                "ram_mb": float(train_ranges.ram_mb[
+                    rng.integers(len(train_ranges.ram_mb))]),
+                "bandwidth_mbits": float(train_ranges.bandwidth_mbits[
+                    rng.integers(len(train_ranges.bandwidth_mbits))]),
+                "latency_ms": float(train_ranges.latency_ms[
+                    rng.integers(len(train_ranges.latency_ms))]),
+            }
+            values[field] = float(
+                eval_values[rng.integers(len(eval_values))])
+            nodes.append(HardwareNode(f"host{i + 1}", **values))
+        return Cluster(nodes)
+
+    return factory

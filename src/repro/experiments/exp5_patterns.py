@@ -1,0 +1,102 @@
+"""Exp 5 — unseen query patterns (Table VI A) and fine-tuning (Fig. 11).
+
+Training only ever contains a single filter per pipeline stage; the
+evaluation queries chain 2, 3 or 4 filters.  Fig. 11 shows that
+few-shot fine-tuning on a small filter-chain corpus repairs the
+throughput model's accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import default_workload_ranges
+from ..core.dataset import GraphDataset
+from ..core.metrics import q_error_percentiles
+from ..data.collection import QueryTrace
+from ..query.generator import QueryGenerator
+from .context import ExperimentContext
+from .evaluation import evaluate_models
+
+__all__ = ["run_chains", "run_finetuning", "collect_chain_traces"]
+
+_CHAIN_LENGTHS = (2, 3, 4)
+
+
+def collect_chain_traces(context: ExperimentContext, chain_length: int,
+                         count: int, seed_offset: int = 0
+                         ) -> list[QueryTrace]:
+    """Filter-chain traces of one chain length."""
+    collector = context.collector(seed=context.seed + 501 + seed_offset
+                                  + chain_length)
+    generator = QueryGenerator(default_workload_ranges(),
+                               seed=context.seed + chain_length)
+    return collector.collect(
+        count,
+        plan_factory=lambda rng: generator.generate_filter_chain(
+            chain_length))
+
+
+def run_chains(context: ExperimentContext) -> list[dict]:
+    """Table VI A: accuracy on 2/3/4-filter chains, both models."""
+    rows: list[dict] = []
+    for length in _CHAIN_LENGTHS:
+        traces = collect_chain_traces(context, length,
+                                      context.scale.n_eval)
+        for row in evaluate_models(context.costream, context.flat_vector,
+                                   traces, seed=context.seed):
+            rows.append({"pattern": f"{length}-filter-chain", **row})
+    return rows
+
+
+def run_finetuning(context: ExperimentContext) -> list[dict]:
+    """Fig. 11: throughput q-errors before/after few-shot fine-tuning.
+
+    The context's throughput model is snapshotted, fine-tuned on a
+    small mixed-length filter-chain corpus, evaluated, and restored, so
+    other experiments keep seeing the original weights.
+    """
+    model = context.costream.ensembles["throughput"].members[0]
+    snapshot = model.network.state_dict()
+
+    eval_sets = {
+        length: collect_chain_traces(context, length,
+                                     context.scale.n_eval,
+                                     seed_offset=50)
+        for length in _CHAIN_LENGTHS}
+    initial = {length: _throughput_qerrors(model, traces)
+               for length, traces in eval_sets.items()}
+
+    per_length = max(context.scale.finetune_traces // len(_CHAIN_LENGTHS),
+                     1)
+    tuning_traces: list[QueryTrace] = []
+    for length in _CHAIN_LENGTHS:
+        tuning_traces.extend(collect_chain_traces(context, length,
+                                                  per_length,
+                                                  seed_offset=99))
+    dataset = GraphDataset.from_traces(tuning_traces, model.featurizer)
+    graphs, labels = dataset.metric_view("throughput")
+    model.fine_tune(graphs, labels, epochs=max(
+        context.scale.epochs // 3, 5))
+    retrained = {length: _throughput_qerrors(model, traces)
+                 for length, traces in eval_sets.items()}
+
+    model.network.load_state_dict(snapshot)
+
+    rows: list[dict] = []
+    for length in _CHAIN_LENGTHS:
+        rows.append({
+            "pattern": f"{length}-filter-chain",
+            "initial_q50": initial[length]["q50"],
+            "initial_q95": initial[length]["q95"],
+            "retrained_q50": retrained[length]["q50"],
+            "retrained_q95": retrained[length]["q95"],
+        })
+    return rows
+
+
+def _throughput_qerrors(model, traces: list[QueryTrace]) -> dict:
+    dataset = GraphDataset.from_traces(traces, model.featurizer)
+    graphs, labels = dataset.metric_view("throughput")
+    predictions = model.predict(graphs)
+    return q_error_percentiles(labels, predictions)

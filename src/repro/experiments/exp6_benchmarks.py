@@ -1,0 +1,28 @@
+"""Exp 6 — unseen real-world benchmarks (Table VI B).
+
+The DSPBench-style queries of :mod:`repro.query.benchmarks` are
+executed with random event rates and placements and scored with the
+models trained on the synthetic corpus — unseen structure, unseen data
+distributions, and (for smart grid) an unseen window length.
+"""
+
+from __future__ import annotations
+
+from ..query.benchmarks import BENCHMARK_QUERIES
+from .context import ExperimentContext
+from .evaluation import evaluate_models
+
+__all__ = ["run_benchmarks"]
+
+
+def run_benchmarks(context: ExperimentContext) -> list[dict]:
+    """Table VI B: per-benchmark accuracy, both models."""
+    rows: list[dict] = []
+    for index, (name, factory) in enumerate(BENCHMARK_QUERIES.items()):
+        collector = context.collector(seed=context.seed + 601 + index)
+        traces = collector.collect(context.scale.n_eval,
+                                   plan_factory=factory)
+        for row in evaluate_models(context.costream, context.flat_vector,
+                                   traces, seed=context.seed):
+            rows.append({"benchmark": name, **row})
+    return rows

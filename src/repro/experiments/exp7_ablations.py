@@ -1,0 +1,140 @@
+"""Exp 7 — ablation studies (Fig. 12 and Fig. 13) plus extras.
+
+* Fig. 12: featurization ablation for end-to-end latency — query nodes
+  only, + hardware nodes (placement, no capacities), + hardware
+  features (the full scheme).
+* Fig. 13: the staged message-passing scheme vs a traditional
+  synchronous neighborhood scheme, over all regression metrics.
+* Extra ablations called out in DESIGN.md: ensemble size, loss
+  function, and model capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import GraphDataset
+from ..core.features import FEATURE_MODES, Featurizer
+from ..core.metrics import q_error_percentiles
+from ..core.training import CostModel
+from ..simulator.result import REGRESSION_METRICS
+from .context import ExperimentContext
+
+__all__ = ["run_featurization", "run_message_passing", "run_ensemble_size",
+           "run_loss_ablation", "run_capacity"]
+
+_MODE_LABELS = {
+    "query_only": "query nodes only",
+    "placement_only": "+ hardware nodes",
+    "full": "+ hardware features",
+}
+
+
+def _train_and_score(context: ExperimentContext, metric: str,
+                     featurizer: Featurizer, scheme: str = "staged",
+                     loss: str = "auto", hidden_dim: int | None = None,
+                     seed: int | None = None) -> dict:
+    """Train one model variant and return test q-errors."""
+    config = context.training_config(
+        scheme=scheme, loss=loss,
+        **({"hidden_dim": hidden_dim} if hidden_dim else {}))
+    model = CostModel(metric, config, featurizer,
+                      seed=context.seed if seed is None else seed)
+    train = GraphDataset.from_traces(context.train_traces, featurizer)
+    val = GraphDataset.from_traces(context.val_traces, featurizer)
+    test = GraphDataset.from_traces(context.test_traces, featurizer)
+    graphs, labels = train.metric_view(metric)
+    val_graphs, val_labels = val.metric_view(metric)
+    model.fit(graphs, labels, val_graphs, val_labels)
+    test_graphs, test_labels = test.metric_view(metric)
+    predictions = model.predict(test_graphs)
+    return q_error_percentiles(test_labels, predictions)
+
+
+def _score_context_model(context: ExperimentContext, metric: str) -> dict:
+    """Test q-errors of the context's already-trained (full, staged)
+    model — reused so the ablations only train the variants."""
+    model = context.costream.ensembles[metric].members[0]
+    test = GraphDataset.from_traces(context.test_traces, model.featurizer)
+    graphs, labels = test.metric_view(metric)
+    return q_error_percentiles(labels, model.predict(graphs))
+
+
+def run_featurization(context: ExperimentContext) -> list[dict]:
+    """Fig. 12: E2E-latency q-error per featurization scheme."""
+    rows: list[dict] = []
+    for mode in ("query_only", "placement_only", "full"):
+        if mode == "full":
+            scores = _score_context_model(context, "e2e_latency")
+        else:
+            scores = _train_and_score(context, "e2e_latency",
+                                      Featurizer(mode))
+        rows.append({"featurization": _MODE_LABELS[mode],
+                     "q50": scores["q50"], "q95": scores["q95"]})
+    return rows
+
+
+def run_message_passing(context: ExperimentContext) -> list[dict]:
+    """Fig. 13: staged (ours) vs traditional message passing."""
+    rows: list[dict] = []
+    featurizer = Featurizer("full")
+    for metric in REGRESSION_METRICS:
+        ours = _score_context_model(context, metric)
+        traditional = _train_and_score(context, metric, featurizer,
+                                       scheme="traditional")
+        rows.append({"metric": metric,
+                     "ours_q50": ours["q50"], "ours_q95": ours["q95"],
+                     "traditional_q50": traditional["q50"],
+                     "traditional_q95": traditional["q95"]})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Extra ablations (design choices listed in DESIGN.md)
+# ----------------------------------------------------------------------
+def run_ensemble_size(context: ExperimentContext,
+                      sizes: tuple[int, ...] = (1, 3)) -> list[dict]:
+    """Throughput accuracy vs ensemble size (mean-combined)."""
+    featurizer = Featurizer("full")
+    test = GraphDataset.from_traces(context.test_traces, featurizer)
+    test_graphs, test_labels = test.metric_view("throughput")
+    train = GraphDataset.from_traces(context.train_traces, featurizer)
+    val = GraphDataset.from_traces(context.val_traces, featurizer)
+    graphs, labels = train.metric_view("throughput")
+    val_graphs, val_labels = val.metric_view("throughput")
+
+    members = []
+    rows: list[dict] = []
+    for size in sorted(sizes):
+        while len(members) < size:
+            model = CostModel("throughput", context.training_config(),
+                              featurizer,
+                              seed=context.seed + 1000 * len(members))
+            model.fit(graphs, labels, val_graphs, val_labels)
+            members.append(model)
+        combined = np.mean([m.predict(test_graphs)
+                            for m in members[:size]], axis=0)
+        scores = q_error_percentiles(test_labels, combined)
+        rows.append({"ensemble_size": size, **scores})
+    return rows
+
+
+def run_loss_ablation(context: ExperimentContext) -> list[dict]:
+    """MSLE vs plain MSE for throughput regression."""
+    rows: list[dict] = []
+    for loss in ("msle", "mse"):
+        scores = _train_and_score(context, "throughput", Featurizer("full"),
+                                  loss=loss)
+        rows.append({"loss": loss.upper(), **scores})
+    return rows
+
+
+def run_capacity(context: ExperimentContext,
+                 hidden_dims: tuple[int, ...] = (16, 48)) -> list[dict]:
+    """Throughput accuracy vs GNN hidden dimension."""
+    rows: list[dict] = []
+    for hidden in hidden_dims:
+        scores = _train_and_score(context, "throughput", Featurizer("full"),
+                                  hidden_dim=hidden)
+        rows.append({"hidden_dim": hidden, **scores})
+    return rows

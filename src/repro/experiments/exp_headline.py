@@ -1,0 +1,48 @@
+"""Fig. 1 — the headline comparison.
+
+Median E2E-latency q-errors for queries similar to training data
+("seen") and for the three unseen axes: unseen hardware (Exp 3),
+unseen query patterns (Exp 5) and an unseen benchmark (Exp 6), for
+COSTREAM and the flat-vector baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .context import ExperimentContext
+from .exp1_accuracy import run_overall
+from .exp3_interpolation import run_interpolation
+from .exp5_patterns import run_chains
+from .exp6_benchmarks import run_benchmarks
+
+__all__ = ["run_headline"]
+
+
+def _e2e_row(rows: list[dict], filter_fn=None) -> tuple[float, float]:
+    selected = [r for r in rows
+                if r.get("metric") == "E2E-latency"
+                and (filter_fn is None or filter_fn(r))]
+    costream = float(np.median([r["costream_q50"] for r in selected]))
+    flat = float(np.median([r["flat_q50"] for r in selected]))
+    return costream, flat
+
+
+def run_headline(context: ExperimentContext) -> list[dict]:
+    """Fig. 1 rows: E2E-latency q50 across the four scenarios."""
+    scenarios = []
+
+    costream, flat = _e2e_row(run_overall(context))
+    scenarios.append(("seen queries", costream, flat))
+
+    costream, flat = _e2e_row(run_interpolation(context))
+    scenarios.append(("unseen hardware", costream, flat))
+
+    costream, flat = _e2e_row(run_chains(context))
+    scenarios.append(("unseen queries", costream, flat))
+
+    costream, flat = _e2e_row(run_benchmarks(context))
+    scenarios.append(("unseen benchmark", costream, flat))
+
+    return [{"scenario": name, "costream_q50": ours, "flat_q50": theirs}
+            for name, ours, theirs in scenarios]

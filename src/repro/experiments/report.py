@@ -1,0 +1,173 @@
+"""Markdown report generation: paper-expected vs measured.
+
+``python -m repro.experiments report`` (or :func:`generate_report`)
+runs every experiment at the selected scale and renders a single
+markdown document comparing the paper's published numbers against the
+reproduction's measurements, artifact by artifact.  The checked-in
+``EXPERIMENTS.md`` is a snapshot of this report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .context import ExperimentContext
+from .exp1_accuracy import run_hardware_groups, run_overall, run_query_types
+from .exp2_placement import run_monitoring, run_speedups
+from .exp3_interpolation import run_interpolation
+from .exp4_extrapolation import run_extrapolation
+from .exp5_patterns import run_chains, run_finetuning
+from .exp6_benchmarks import run_benchmarks
+from .exp7_ablations import run_featurization, run_message_passing
+from .exp_headline import run_headline
+from .reporting import format_table
+
+__all__ = ["ARTIFACTS", "ReportArtifact", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportArtifact:
+    """One paper table/figure: how to regenerate it + what to expect."""
+
+    key: str
+    title: str
+    runner: Callable[[ExperimentContext], list[dict]]
+    paper_summary: str
+    expected_shape: str
+
+
+ARTIFACTS: tuple[ReportArtifact, ...] = (
+    ReportArtifact(
+        "fig1", "Fig. 1 — headline E2E-latency q50",
+        run_headline,
+        "COSTREAM 1.37 / 1.59 / 2.17 / 1.41 vs flat vector 13.28 / 63.79 "
+        "/ 444.03 / 17.15 (seen / unseen hardware / unseen queries / "
+        "unseen benchmark).",
+        "COSTREAM stays moderate on all four axes; the flat vector "
+        "degrades sharply on the unseen axes."),
+    ReportArtifact(
+        "table3", "Table III — overall test-set accuracy",
+        run_overall,
+        "COSTREAM q50 1.33/1.37/1.46 (T/Le/Lp), 87.9%/95.0% accuracy; "
+        "flat vector q50 9.92/24.96/22.87, 68.7%/76.9%.",
+        "COSTREAM ahead on every metric, decisively at the q95 tail "
+        "and on the binary metrics."),
+    ReportArtifact(
+        "fig7", "Fig. 7 — accuracy over hardware ranges",
+        run_hardware_groups,
+        "Median q-error 1.6 or better and accuracy above 85% across all "
+        "CPU/RAM/bandwidth/latency groups.",
+        "Stable accuracy across hardware regimes; no group collapses."),
+    ReportArtifact(
+        "fig8", "Fig. 8 — accuracy per query type",
+        run_query_types,
+        "q-error below 1.6 everywhere, mildly increasing with query "
+        "complexity.",
+        "All six template families predicted; complex joins slightly "
+        "harder than linear queries."),
+    ReportArtifact(
+        "fig9", "Fig. 9 — placement speed-ups (Exp 2a)",
+        run_speedups,
+        "Median Lp speed-ups up to 21.34x (COSTREAM) vs up to 9.79x "
+        "(flat vector) over the heuristic initial placement.",
+        "Cost-based placement produces large median speed-ups; COSTREAM "
+        "at least matches the flat baseline."),
+    ReportArtifact(
+        "fig10", "Fig. 10 — online-monitoring baseline (Exp 2b)",
+        run_monitoring,
+        "Monitoring starts up to 166x slower and needs 70-120+ seconds "
+        "of runtime adaptation to become competitive, when it does.",
+        "Slow-down >= 1 on every run; substantial or unbounded "
+        "monitoring overhead."),
+    ReportArtifact(
+        "table4", "Table IV — hardware interpolation (Exp 3)",
+        run_interpolation,
+        "COSTREAM q50 1.37-1.59 on unseen in-range hardware vs flat "
+        "vector 15.63-63.79.",
+        "COSTREAM stays accurate on unseen grid values; flat vector "
+        "clearly behind at the tail."),
+    ReportArtifact(
+        "table5a", "Table V A — extrapolation to stronger hardware",
+        lambda ctx: run_extrapolation(ctx, "stronger"),
+        "q50 1.48-3.83 across dimensions; latency extrapolation is the "
+        "hardest.",
+        "Finite, moderately accurate predictions beyond the training "
+        "range."),
+    ReportArtifact(
+        "table5b", "Table V B — extrapolation to weaker hardware",
+        lambda ctx: run_extrapolation(ctx, "weaker"),
+        "q50 1.42-6.09 across dimensions; weak-network extrapolation "
+        "is the hardest.",
+        "Finite, moderately accurate predictions; harder than "
+        "interpolation."),
+    ReportArtifact(
+        "table6a", "Table VI A — unseen query patterns (Exp 5a)",
+        run_chains,
+        "COSTREAM q50 1.6-5.5 on 2/3/4-filter chains; flat vector up to "
+        "538 q50 and 4-6% query-success accuracy.",
+        "COSTREAM degrades gracefully with chain length and beats the "
+        "flat vector, which cannot extrapolate over structure."),
+    ReportArtifact(
+        "fig11", "Fig. 11 — few-shot fine-tuning (Exp 5b)",
+        run_finetuning,
+        "Fine-tuning on 3000 extra chains: 4-filter q50 5.51 -> 1.61, "
+        "q95 455 -> 4.1.",
+        "Fine-tuning reduces the chain q-errors, most for the longest "
+        "chains."),
+    ReportArtifact(
+        "table6b", "Table VI B — unseen benchmarks (Exp 6)",
+        run_benchmarks,
+        "COSTREAM q50 1.41-3.67 across advertisement / spike detection "
+        "/ smart grid; flat vector up to 274 q50 and 0% success "
+        "accuracy on spike detection.",
+        "COSTREAM transfers zero-shot to realistic queries and data "
+        "distributions; the flat vector does not."),
+    ReportArtifact(
+        "fig12", "Fig. 12 — featurization ablation (Exp 7a)",
+        run_featurization,
+        "E2E-latency q50: 2.60 (query only) -> 2.22 (+ placement) -> "
+        "1.37 (full hardware features).",
+        "Each featurization stage adds accuracy; the full joint graph "
+        "wins."),
+    ReportArtifact(
+        "fig13", "Fig. 13 — message-passing ablation (Exp 7b)",
+        run_message_passing,
+        "Staged scheme beats traditional synchronous message passing on "
+        "all regression metrics (e.g. Le q50 1.37 vs 1.60).",
+        "The staged scheme is at least as accurate as the traditional "
+        "one."),
+)
+
+
+def generate_report(context: ExperimentContext,
+                    keys: tuple[str, ...] | None = None) -> str:
+    """Run the selected artifacts and render the markdown report."""
+    selected = [a for a in ARTIFACTS if keys is None or a.key in keys]
+    lines: list[str] = [
+        "# EXPERIMENTS — paper vs reproduction",
+        "",
+        f"Scale preset: **{context.scale.name}** "
+        f"(corpus {context.scale.corpus_size}, "
+        f"{context.scale.epochs} epochs, hidden "
+        f"{context.scale.hidden_dim}).",
+        "",
+        "Absolute numbers are not expected to match the paper — the "
+        "substrate is a calibrated simulator, not the authors' CloudLab "
+        "testbed — but the qualitative *shape* of every artifact "
+        "should, and the benchmark harness asserts it.",
+        "",
+    ]
+    for artifact in selected:
+        rows = artifact.runner(context)
+        lines.append(f"## {artifact.title}")
+        lines.append("")
+        lines.append(f"**Paper:** {artifact.paper_summary}")
+        lines.append("")
+        lines.append(f"**Expected shape:** {artifact.expected_shape}")
+        lines.append("")
+        lines.append("```")
+        lines.append(format_table(rows))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Experiment scale presets.
+
+The paper's evaluation trains on tens of thousands of CloudLab traces;
+the reproduction exposes the same experiments at configurable scale so
+they run on a laptop.  ``REPRO_SCALE`` (environment variable) selects
+the preset used by the benchmark harness: ``tiny`` (CI smoke),
+``small`` (default; paper-shape visible in minutes) or ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "get_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    corpus_size: int           # traces in the main training corpus
+    epochs: int                # training epochs per cost model
+    hidden_dim: int            # GNN hidden dimension
+    n_eval: int                # traces per generalization evaluation
+    queries_per_type: int      # Exp 2a optimization runs per query type
+    n_candidates: int          # placement candidates per optimization
+    ensemble_size: int         # Exp 2 latency-model ensemble
+    finetune_traces: int       # Exp 5b few-shot corpus size
+    restricted_corpus: int     # Exp 4 per-dimension training corpus
+    restricted_epochs: int     # Exp 4 training epochs
+    monitoring_runs: int       # Exp 2b (rate, selectivity) combinations
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny", corpus_size=260, epochs=8, hidden_dim=24, n_eval=40,
+        queries_per_type=3, n_candidates=8, ensemble_size=1,
+        finetune_traces=60, restricted_corpus=150, restricted_epochs=6,
+        monitoring_runs=2),
+    "small": ExperimentScale(
+        name="small", corpus_size=2400, epochs=50, hidden_dim=48,
+        n_eval=90, queries_per_type=12, n_candidates=20, ensemble_size=3,
+        finetune_traces=400, restricted_corpus=700, restricted_epochs=16,
+        monitoring_runs=6),
+    "full": ExperimentScale(
+        name="full", corpus_size=4500, epochs=60, hidden_dim=48,
+        n_eval=120, queries_per_type=50, n_candidates=30, ensemble_size=3,
+        finetune_traces=1000, restricted_corpus=1500, restricted_epochs=30,
+        monitoring_runs=10),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a preset; ``None`` falls back to ``$REPRO_SCALE``/small."""
+    name = name or os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

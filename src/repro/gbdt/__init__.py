@@ -1,0 +1,7 @@
+"""From-scratch gradient-boosted decision trees (LightGBM stand-in)."""
+
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .tree import FeatureBinner, RegressionTree
+
+__all__ = ["GradientBoostingClassifier", "GradientBoostingRegressor",
+           "FeatureBinner", "RegressionTree"]

@@ -1,0 +1,108 @@
+"""Gradient boosting on histogram trees (LightGBM stand-in).
+
+Second-order boosting in the XGBoost/LightGBM style: each round fits a
+:class:`~repro.gbdt.tree.RegressionTree` to the gradient/hessian of the
+loss at the current prediction.  The regressor uses squared loss, the
+classifier logistic loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import FeatureBinner, RegressionTree
+
+__all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
+
+
+class _BoostingBase:
+    def __init__(self, n_estimators: int = 150, learning_rate: float = 0.1,
+                 max_depth: int = 5, min_samples_leaf: int = 10,
+                 max_bins: int = 48, subsample: float = 1.0,
+                 random_state: int = 0):
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        self.subsample = subsample
+        self.random_state = random_state
+        self.trees_: list[RegressionTree] = []
+        self.binner_: FeatureBinner | None = None
+        self.base_score_: float = 0.0
+
+    def _boost(self, features: np.ndarray, grad_hess) -> None:
+        """Shared fitting loop; ``grad_hess(pred)`` yields (g, h)."""
+        rng = np.random.default_rng(self.random_state)
+        self.binner_ = FeatureBinner(self.max_bins).fit(features)
+        binned = self.binner_.transform(features)
+        n = binned.shape[0]
+        prediction = np.full(n, self.base_score_, dtype=np.float64)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            gradients, hessians = grad_hess(prediction)
+            if self.subsample < 1.0:
+                keep = rng.random(n) < self.subsample
+                gradients = np.where(keep, gradients, 0.0)
+                hessians = np.where(keep, hessians, 0.0)
+            tree = RegressionTree(max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf)
+            tree.fit(binned, gradients, hessians, self.binner_.n_bins)
+            prediction += self.learning_rate * tree.predict(binned)
+            self.trees_.append(tree)
+
+    def _raw_predict(self, features: np.ndarray) -> np.ndarray:
+        if self.binner_ is None:
+            raise RuntimeError("model is not fitted")
+        binned = self.binner_.transform(np.asarray(features,
+                                                   dtype=np.float64))
+        prediction = np.full(binned.shape[0], self.base_score_,
+                             dtype=np.float64)
+        for tree in self.trees_:
+            prediction += self.learning_rate * tree.predict(binned)
+        return prediction
+
+
+class GradientBoostingRegressor(_BoostingBase):
+    """Squared-loss gradient boosting."""
+
+    def fit(self, features: np.ndarray,
+            targets: np.ndarray) -> "GradientBoostingRegressor":
+        targets = np.asarray(targets, dtype=np.float64)
+        self.base_score_ = float(targets.mean())
+
+        def grad_hess(prediction):
+            return prediction - targets, np.ones_like(prediction)
+
+        self._boost(np.asarray(features, dtype=np.float64), grad_hess)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._raw_predict(features)
+
+
+class GradientBoostingClassifier(_BoostingBase):
+    """Binary logistic-loss gradient boosting."""
+
+    def fit(self, features: np.ndarray,
+            labels: np.ndarray) -> "GradientBoostingClassifier":
+        labels = np.asarray(labels, dtype=np.float64)
+        positive = float(labels.mean())
+        positive = min(max(positive, 1e-4), 1.0 - 1e-4)
+        self.base_score_ = float(np.log(positive / (1.0 - positive)))
+
+        def grad_hess(prediction):
+            prob = 1.0 / (1.0 + np.exp(-prediction))
+            return prob - labels, np.maximum(prob * (1.0 - prob), 1e-6)
+
+        self._boost(np.asarray(features, dtype=np.float64), grad_hess)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        raw = self._raw_predict(features)
+        return 1.0 / (1.0 + np.exp(-raw))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

@@ -1,0 +1,194 @@
+"""Histogram-based regression trees for gradient boosting.
+
+This is the building block of the from-scratch gradient-boosting
+substrate (the paper's flat-vector baseline trains LightGBM [34]; we
+reproduce the same model family).  Features are pre-binned into small
+integer histograms once per dataset; split finding then reduces to a
+handful of ``np.bincount`` calls per node, which keeps training fast
+without any native code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FeatureBinner", "RegressionTree"]
+
+
+class FeatureBinner:
+    """Quantile-bins a feature matrix into uint8 codes."""
+
+    def __init__(self, max_bins: int = 48):
+        if not 2 <= max_bins <= 255:
+            raise ValueError("max_bins must be within [2, 255]")
+        self.max_bins = max_bins
+        self.bin_edges_: list[np.ndarray] | None = None
+
+    def fit(self, features: np.ndarray) -> "FeatureBinner":
+        features = np.asarray(features, dtype=np.float64)
+        edges: list[np.ndarray] = []
+        quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        for column in features.T:
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                edges.append(np.asarray([0.0]))
+                continue
+            cuts = np.unique(np.quantile(finite, quantiles))
+            edges.append(cuts)
+        self.bin_edges_ = edges
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.bin_edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        binned = np.empty(features.shape, dtype=np.uint8)
+        for j, cuts in enumerate(self.bin_edges_):
+            binned[:, j] = np.searchsorted(cuts, features[:, j],
+                                           side="right")
+        return binned
+
+    @property
+    def n_bins(self) -> int:
+        return self.max_bins
+
+    def bin_upper_values(self, feature: int) -> np.ndarray:
+        """Representative raw value for the upper edge of each bin."""
+        cuts = self.bin_edges_[feature]
+        return np.concatenate([cuts, [np.inf]])
+
+
+@dataclass
+class _NodeTask:
+    node_id: int
+    rows: np.ndarray
+    depth: int
+
+
+class RegressionTree:
+    """A depth-limited tree fit on gradients/hessians (one boosting step)."""
+
+    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 10,
+                 min_gain: float = 1e-7, reg_lambda: float = 1.0):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.reg_lambda = reg_lambda
+        # Flat array representation (grown dynamically while fitting).
+        self.feature: list[int] = []
+        self.threshold_bin: list[int] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, binned: np.ndarray, gradients: np.ndarray,
+            hessians: np.ndarray, n_bins: int) -> "RegressionTree":
+        """Fit to minimize the second-order boosting objective."""
+        gradients = np.asarray(gradients, dtype=np.float64)
+        hessians = np.asarray(hessians, dtype=np.float64)
+        root_rows = np.arange(binned.shape[0])
+        self._new_node()
+        tasks = [_NodeTask(0, root_rows, 0)]
+        while tasks:
+            task = tasks.pop()
+            rows = task.rows
+            grad_sum = gradients[rows].sum()
+            hess_sum = hessians[rows].sum()
+            leaf_value = -grad_sum / (hess_sum + self.reg_lambda)
+            if task.depth >= self.max_depth \
+                    or rows.size < 2 * self.min_samples_leaf:
+                self.value[task.node_id] = leaf_value
+                continue
+            split = self._best_split(binned, gradients, hessians, rows,
+                                     n_bins, grad_sum, hess_sum)
+            if split is None:
+                self.value[task.node_id] = leaf_value
+                continue
+            feature, threshold_bin, left_rows, right_rows = split
+            left_id = self._new_node()
+            right_id = self._new_node()
+            self.feature[task.node_id] = feature
+            self.threshold_bin[task.node_id] = threshold_bin
+            self.left[task.node_id] = left_id
+            self.right[task.node_id] = right_id
+            tasks.append(_NodeTask(left_id, left_rows, task.depth + 1))
+            tasks.append(_NodeTask(right_id, right_rows, task.depth + 1))
+        self._freeze()
+        return self
+
+    def _new_node(self) -> int:
+        self.feature.append(-1)
+        self.threshold_bin.append(0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(0.0)
+        return len(self.feature) - 1
+
+    def _freeze(self) -> None:
+        self._feature = np.asarray(self.feature, dtype=np.int64)
+        self._threshold = np.asarray(self.threshold_bin, dtype=np.int64)
+        self._left = np.asarray(self.left, dtype=np.int64)
+        self._right = np.asarray(self.right, dtype=np.int64)
+        self._value = np.asarray(self.value, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _best_split(self, binned, gradients, hessians, rows, n_bins,
+                    grad_sum, hess_sum):
+        best_gain = self.min_gain
+        best = None
+        reg = self.reg_lambda
+        parent_score = grad_sum ** 2 / (hess_sum + reg)
+        node_bins = binned[rows]
+        node_grad = gradients[rows]
+        node_hess = hessians[rows]
+        for feature in range(binned.shape[1]):
+            codes = node_bins[:, feature]
+            grad_hist = np.bincount(codes, weights=node_grad,
+                                    minlength=n_bins)
+            hess_hist = np.bincount(codes, weights=node_hess,
+                                    minlength=n_bins)
+            count_hist = np.bincount(codes, minlength=n_bins)
+            grad_left = np.cumsum(grad_hist)[:-1]
+            hess_left = np.cumsum(hess_hist)[:-1]
+            count_left = np.cumsum(count_hist)[:-1]
+            grad_right = grad_sum - grad_left
+            hess_right = hess_sum - hess_left
+            count_right = rows.size - count_left
+            valid = (count_left >= self.min_samples_leaf) \
+                & (count_right >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            gain = grad_left ** 2 / (hess_left + reg) \
+                + grad_right ** 2 / (hess_right + reg) - parent_score
+            gain = np.where(valid, gain, -np.inf)
+            idx = int(np.argmax(gain))
+            if gain[idx] > best_gain:
+                best_gain = float(gain[idx])
+                best = (feature, idx)
+        if best is None:
+            return None
+        feature, threshold_bin = best
+        mask = node_bins[:, feature] <= threshold_bin
+        return feature, threshold_bin, rows[mask], rows[~mask]
+
+    # ------------------------------------------------------------------
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        """Evaluate the tree for every (pre-binned) row."""
+        node = np.zeros(binned.shape[0], dtype=np.int64)
+        active = self._left[node] != -1
+        while active.any():
+            rows = np.nonzero(active)[0]
+            current = node[rows]
+            go_left = binned[rows, self._feature[current]] \
+                <= self._threshold[current]
+            node[rows] = np.where(go_left, self._left[current],
+                                  self._right[current])
+            active = self._left[node] != -1
+        return self._value[node]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.value)

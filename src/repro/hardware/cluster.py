@@ -1,0 +1,66 @@
+"""Clusters: the set of heterogeneous nodes available to one query."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import HardwareRanges, default_hardware_ranges
+from .network import NetworkLink, link_between
+from .node import HardwareNode, capability_bin, capability_score, sample_node
+
+__all__ = ["Cluster", "sample_cluster"]
+
+
+class Cluster:
+    """An ordered collection of uniquely-named hardware nodes."""
+
+    def __init__(self, nodes: list[HardwareNode]):
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self._nodes: dict[str, HardwareNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ValueError(f"duplicate node id {node.node_id!r}")
+            self._nodes[node.node_id] = node
+
+    @property
+    def nodes(self) -> list[HardwareNode]:
+        return list(self._nodes.values())
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> HardwareNode:
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def link(self, sender_id: str, receiver_id: str) -> NetworkLink:
+        return link_between(self._nodes[sender_id],
+                            self._nodes[receiver_id])
+
+    def by_capability(self,
+                      ranges: HardwareRanges | None = None
+                      ) -> list[HardwareNode]:
+        """Nodes sorted from weakest to strongest."""
+        return sorted(self.nodes,
+                      key=lambda n: capability_score(n, ranges))
+
+    def bins(self, ranges: HardwareRanges | None = None) -> dict[str, int]:
+        """Edge/fog/cloud bin per node id (placement heuristics)."""
+        return {n.node_id: capability_bin(n, ranges) for n in self.nodes}
+
+
+def sample_cluster(rng: np.random.Generator, size: int,
+                   ranges: HardwareRanges | None = None,
+                   prefix: str = "host") -> Cluster:
+    """Sample a heterogeneous cluster from the hardware grids."""
+    ranges = ranges or default_hardware_ranges()
+    nodes = [sample_node(rng, f"{prefix}{i + 1}", ranges)
+             for i in range(size)]
+    return Cluster(nodes)

@@ -1,0 +1,45 @@
+"""Point-to-point network model between compute nodes.
+
+The paper models the network through each host's *outgoing* latency and
+bandwidth (configured with tc-netem on the testbed).  A logical link
+between two different hosts therefore inherits the sender's outgoing
+characteristics; traffic between co-located operators never touches the
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import HardwareNode
+
+__all__ = ["NetworkLink", "link_between"]
+
+#: Effective bandwidth of an intra-host (co-located) transfer, Mbit/s.
+#: Loopback transfers are effectively memory copies; this just needs to
+#: be far above any inter-host link.
+LOCAL_BANDWIDTH_MBITS = 200_000.0
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A directed network path used by one data-flow edge."""
+
+    latency_ms: float
+    bandwidth_mbits: float
+    local: bool
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """One-off transfer time for ``payload_bytes`` (used for
+        operator state migration in the online-monitoring baseline)."""
+        seconds = payload_bytes * 8.0 / (self.bandwidth_mbits * 1e6)
+        return seconds + self.latency_ms / 1000.0
+
+
+def link_between(sender: HardwareNode, receiver: HardwareNode) -> NetworkLink:
+    """The link a tuple traverses when flowing ``sender -> receiver``."""
+    if sender.node_id == receiver.node_id:
+        return NetworkLink(latency_ms=0.0,
+                           bandwidth_mbits=LOCAL_BANDWIDTH_MBITS, local=True)
+    return NetworkLink(latency_ms=sender.latency_ms,
+                       bandwidth_mbits=sender.bandwidth_mbits, local=False)

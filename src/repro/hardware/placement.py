@@ -1,0 +1,75 @@
+"""Operator placements: the mapping from operators to compute nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..query.plan import QueryPlan
+from .cluster import Cluster
+
+__all__ = ["Placement", "PlacementError"]
+
+
+class PlacementError(ValueError):
+    """Raised when a placement does not cover the plan / cluster."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable operator -> node assignment for one query plan."""
+
+    assignment: dict[str, str]
+
+    def __post_init__(self):
+        # Freeze the mapping so placements are safely hashable/shareable.
+        object.__setattr__(self, "assignment", dict(self.assignment))
+
+    def node_of(self, op_id: str) -> str:
+        try:
+            return self.assignment[op_id]
+        except KeyError:
+            raise PlacementError(f"operator {op_id!r} is not placed") from None
+
+    def operators_on(self, node_id: str) -> list[str]:
+        return [op for op, node in self.assignment.items()
+                if node == node_id]
+
+    def used_nodes(self) -> list[str]:
+        seen: list[str] = []
+        for node in self.assignment.values():
+            if node not in seen:
+                seen.append(node)
+        return seen
+
+    def colocated(self, op_a: str, op_b: str) -> bool:
+        return self.node_of(op_a) == self.node_of(op_b)
+
+    def validate(self, plan: QueryPlan, cluster: Cluster) -> None:
+        """Check the placement covers the plan and stays in the cluster."""
+        missing = [o for o in plan.topological_order()
+                   if o not in self.assignment]
+        if missing:
+            raise PlacementError(f"operators without a node: {missing}")
+        extra = [o for o in self.assignment if o not in plan]
+        if extra:
+            raise PlacementError(f"placement names unknown operators: {extra}")
+        unknown = [n for n in self.assignment.values() if n not in cluster]
+        if unknown:
+            raise PlacementError(f"placement uses unknown nodes: {unknown}")
+
+    def with_move(self, op_id: str, node_id: str) -> "Placement":
+        """Copy with one operator migrated to another node."""
+        updated = dict(self.assignment)
+        if op_id not in updated:
+            raise PlacementError(f"operator {op_id!r} is not placed")
+        updated[op_id] = node_id
+        return Placement(updated)
+
+    def items(self):
+        return self.assignment.items()
+
+    def __iter__(self):
+        return iter(self.assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignment)

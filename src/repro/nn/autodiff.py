@@ -1,0 +1,419 @@
+"""Minimal reverse-mode automatic differentiation on numpy arrays.
+
+This module is the substrate that replaces PyTorch for the COSTREAM GNN.
+It implements a small ``Tensor`` type carrying a value and, after
+:meth:`Tensor.backward`, a gradient.  Only the operations needed by the
+cost models are provided: elementwise arithmetic, matrix multiplication,
+activations, reductions, concatenation, row gathering and segment sums
+(the two primitives that make batched graph message passing possible).
+
+The design follows the classic tape-based approach: every operation
+records its parents and a closure that propagates the output gradient to
+the parents; :meth:`Tensor.backward` walks the tape in reverse
+topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "gather", "scatter_rows", "segment_sum",
+           "stack"]
+
+
+def _as_array(value) -> np.ndarray:
+    array = np.asarray(value, dtype=np.float64)
+    return array
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _make(cls, data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = cls(data)
+        out.requires_grad = any(p.requires_grad for p in parents)
+        if out.requires_grad:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise ValueError("called backward() on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / other.data ** 2, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Activations and elementwise functions
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0.0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0.0
+        scale = np.where(mask, 1.0, slope)
+        out_data = self.data * scale
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * scale)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log1p(self) -> "Tensor":
+        out_data = np.log1p(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (1.0 + self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape manipulation
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if axis is None:
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            else:
+                expanded = grad if keepdims else np.expand_dims(grad, axis)
+                self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: int = -1) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+# ----------------------------------------------------------------------
+# Free functions over tensors
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shaped tensors along a new axis."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        for index, tensor in enumerate(tensors):
+            tensor._accumulate(np.take(grad, index, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``tensor[index]``; rows may repeat.
+
+    The backward pass scatter-adds the incoming gradient back into the
+    source rows, which is what message passing needs when one node sends
+    its hidden state along several edges.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = tensor.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        np.add.at(full, index, grad)
+        tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def scatter_rows(base: Tensor, index: np.ndarray, values: Tensor) -> Tensor:
+    """Functional row replacement: ``out = base; out[index] = values``.
+
+    ``index`` must not contain duplicates.  Used by the staged message
+    passing to update the hidden states of one node subset (e.g. all
+    host nodes) while leaving the others untouched.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = base.data.copy()
+    out_data[index] = values.data
+
+    def backward(grad: np.ndarray) -> None:
+        base_grad = grad.copy()
+        base_grad[index] = 0.0
+        base._accumulate(base_grad)
+        values._accumulate(grad[index])
+
+    return Tensor._make(out_data, (base, values), backward)
+
+
+def segment_sum(tensor: Tensor, segment_ids: np.ndarray,
+                num_segments: int) -> Tensor:
+    """Sum rows of ``tensor`` into ``num_segments`` buckets.
+
+    ``segment_ids[i]`` names the output row that input row ``i`` is added
+    to.  Segments with no member stay zero.  This is the aggregation
+    primitive of the GNN (summing messages arriving at a node, and the
+    final sum readout over a batched graph).
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + tensor.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (tensor,), backward)

@@ -1,0 +1,25 @@
+"""Weight initialization schemes for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros"]
+
+
+def he_normal(rng: np.random.Generator, fan_in: int,
+              fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal init, appropriate before ReLU activations."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int,
+                   fan_out: int) -> np.ndarray:
+    """Glorot uniform init, appropriate for linear/sigmoid outputs."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,151 @@
+"""Layers and modules built on top of :mod:`repro.nn.autodiff`."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .autodiff import Tensor
+from . import init
+
+__all__ = ["Module", "Linear", "MLP", "Dropout"]
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules by attribute."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    params.append(value)
+            elif isinstance(value, Module):
+                for param in value.parameters():
+                    if id(param) not in seen:
+                        seen.add(id(param))
+                        params.append(param)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for param in item.parameters():
+                            if id(param) not in seen:
+                                seen.add(id(param))
+                                params.append(param)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        for param in item.parameters():
+                            if id(param) not in seen:
+                                seen.add(id(param))
+                                params.append(param)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter values, keyed by discovery order."""
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(params)}")
+        for i, param in enumerate(params):
+            value = state[f"p{i}"]
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for p{i}: {value.shape} vs "
+                    f"{param.data.shape}")
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, activation: str = "relu"):
+        if activation == "relu":
+            weight = init.he_normal(rng, in_features, out_features)
+        else:
+            weight = init.xavier_uniform(rng, in_features, out_features)
+        self.weight = Tensor(weight, requires_grad=True)
+        self.bias = Tensor(init.zeros(out_features), requires_grad=True)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when ``training`` is False."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self.training = True
+
+    def parameters(self) -> list[Tensor]:
+        return []
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    ``hidden`` lists the hidden layer widths; the final layer is linear
+    (no activation) so the network can be used as an encoder or as a
+    regression / logit head.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int],
+                 out_features: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        dims = [in_features] + list(hidden) + [out_features]
+        self.layers: list[Linear] = []
+        for i, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            is_last = i == len(dims) - 2
+            activation = "linear" if is_last else "relu"
+            self.layers.append(Linear(fan_in, fan_out, rng, activation))
+        self.dropout = Dropout(dropout, rng) if dropout > 0.0 else None
+        self.training = True
+
+    def train(self) -> None:
+        self.training = True
+        if self.dropout is not None:
+            self.dropout.training = True
+
+    def eval(self) -> None:
+        self.training = False
+        if self.dropout is not None:
+            self.dropout.training = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x

@@ -1,0 +1,47 @@
+"""Loss functions used by the COSTREAM cost models.
+
+The paper trains the regression metrics (throughput, latencies) with the
+Mean Squared Logarithmic Error, because the label ranges span several
+orders of magnitude, and the binary metrics (query success, backpressure
+occurrence) with cross entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autodiff import Tensor
+
+__all__ = ["msle_loss", "mse_loss", "bce_with_logits_loss"]
+
+
+def msle_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared logarithmic error.
+
+    ``pred`` is expected in *log1p space* already (the model regresses
+    log1p(cost) directly, which is the standard trick for MSLE training);
+    ``target`` is the raw, non-negative cost label.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    log_target = Tensor(np.log1p(target))
+    diff = pred - log_target
+    return (diff * diff).mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Plain mean squared error on raw labels (ablation baseline)."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def bce_with_logits_loss(logits: Tensor, target: np.ndarray) -> Tensor:
+    """Numerically-stable binary cross entropy on logits.
+
+    Uses the identity ``bce = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    relu_x = logits.relu()
+    abs_x = logits.abs()
+    softplus = ((-abs_x).exp() + 1.0).log()
+    loss = relu_x - logits * target_t + softplus
+    return loss.mean()

@@ -1,0 +1,10 @@
+"""Cost-model-powered optimizations beyond placement (paper outlook)."""
+
+from .monetary import (BudgetDecision, BudgetedPlacementOptimizer,
+                       MonetaryCostEstimator, PriceModel)
+from .reordering import (ReorderingDecision, ReorderingOptimizer,
+                         enumerate_filter_orders)
+
+__all__ = ["BudgetDecision", "BudgetedPlacementOptimizer",
+           "MonetaryCostEstimator", "PriceModel", "ReorderingDecision",
+           "ReorderingOptimizer", "enumerate_filter_orders"]

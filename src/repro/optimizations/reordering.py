@@ -1,0 +1,156 @@
+"""Cost-based operator reordering (paper Section IX outlook, ref [19]).
+
+The paper positions COSTREAM as a building block for classic streaming
+optimizations beyond placement.  The canonical one is *filter
+reordering* (Hirzel et al.'s catalog [19]): consecutive commutative
+filters can run in any order; executing the most selective one first
+minimizes the work downstream filters see.
+
+:class:`ReorderingOptimizer` enumerates the permutations of every
+filter chain in a plan, and picks the (rewritten plan, placement) pair
+with the best predicted cost — placement and ordering are optimized
+*jointly*, exactly the kind of compound decision a learned cost model
+enables offline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..core.costream import Costream
+from ..hardware.cluster import Cluster
+from ..placement.enumeration import HeuristicPlacementEnumerator
+from ..placement.optimizer import PlacementOptimizer
+from ..query.operators import OperatorKind
+from ..query.plan import QueryPlan
+
+__all__ = ["enumerate_filter_orders", "ReorderingDecision",
+           "ReorderingOptimizer"]
+
+#: Permutation cap per chain: chains are short (<= 4 filters in the
+#: corpus), but guard against pathological inputs.
+_MAX_PERMUTATIONS = 24
+
+
+def _filter_chains(plan: QueryPlan) -> list[list[str]]:
+    """Maximal runs of consecutive filter operators."""
+    chains: list[list[str]] = []
+    seen: set[str] = set()
+    for op_id in plan.topological_order():
+        if plan.operator(op_id).kind is not OperatorKind.FILTER:
+            continue
+        if op_id in seen:
+            continue
+        chain = [op_id]
+        seen.add(op_id)
+        current = op_id
+        while True:
+            children = plan.children(current)
+            if len(children) != 1:
+                break
+            child = children[0]
+            if plan.operator(child).kind is not OperatorKind.FILTER:
+                break
+            chain.append(child)
+            seen.add(child)
+            current = child
+        chains.append(chain)
+    return chains
+
+
+def _reorder_chain(plan: QueryPlan, chain: list[str],
+                   order: tuple[str, ...]) -> QueryPlan:
+    """Rewrite one chain into the given operator order."""
+    if list(order) == chain:
+        return plan
+    head_parents = plan.parents(chain[0])
+    tail_children = plan.children(chain[-1])
+    inside = set(chain)
+    edges = [(a, b) for a, b in plan.edges
+             if a not in inside and b not in inside]
+    previous = head_parents[0] if head_parents else None
+    for op_id in order:
+        if previous is not None:
+            edges.append((previous, op_id))
+        previous = op_id
+    for child in tail_children:
+        edges.append((previous, child))
+    return QueryPlan(list(plan.operators.values()), edges,
+                     name=plan.name)
+
+
+def enumerate_filter_orders(plan: QueryPlan,
+                            max_rewrites: int = 16) -> list[QueryPlan]:
+    """All plans reachable by permuting filter chains (incl. original).
+
+    Chains are permuted independently; the cartesian product is capped
+    at ``max_rewrites`` plans (original order first).
+    """
+    chains = [c for c in _filter_chains(plan) if len(c) > 1]
+    if not chains:
+        return [plan]
+    per_chain = [list(itertools.islice(itertools.permutations(chain),
+                                       _MAX_PERMUTATIONS))
+                 for chain in chains]
+    rewrites: list[QueryPlan] = []
+    for combo in itertools.product(*per_chain):
+        rewritten = plan
+        for chain, order in zip(chains, combo):
+            rewritten = _reorder_chain(rewritten, chain, order)
+        rewrites.append(rewritten)
+        if len(rewrites) >= max_rewrites:
+            break
+    return rewrites
+
+
+@dataclass(frozen=True)
+class ReorderingDecision:
+    """Best (plan, placement) pair found by joint optimization."""
+
+    plan: QueryPlan
+    placement: object
+    predicted_objective: float
+    rewrites_evaluated: int
+    reordered: bool
+
+
+class ReorderingOptimizer:
+    """Jointly optimizes filter order and operator placement."""
+
+    def __init__(self, model: "Costream",
+                 objective: str = "processing_latency"):
+        self.model = model
+        self.objective = objective
+        self._placement_optimizer = PlacementOptimizer(model, objective)
+
+    def optimize(self, plan: QueryPlan, cluster: Cluster,
+                 n_candidates: int = 20,
+                 selectivities: dict[str, float] | None = None,
+                 seed: int = 0) -> ReorderingDecision:
+        """Pick the rewrite+placement with the best predicted cost."""
+        rewrites = enumerate_filter_orders(plan)
+        best = None
+        maximize = self.objective in ("throughput",)
+        for index, rewrite in enumerate(rewrites):
+            enumerator = HeuristicPlacementEnumerator(cluster,
+                                                      seed=seed + index)
+            decision = self._placement_optimizer.optimize(
+                rewrite, cluster, n_candidates=n_candidates,
+                selectivities=selectivities, enumerator=enumerator,
+                seed=seed + index)
+            score = decision.predicted_objective
+            better = (best is None
+                      or (score > best[0] if maximize else score < best[0]))
+            if better:
+                best = (score, rewrite, decision.placement, index)
+        score, rewrite, placement, index = best
+        return ReorderingDecision(
+            plan=rewrite, placement=placement,
+            predicted_objective=float(score),
+            rewrites_evaluated=len(rewrites),
+            reordered=rewrite.edges != plan.edges)

@@ -1,0 +1,7 @@
+"""Placement enumeration and cost-based placement optimization."""
+
+from .enumeration import HeuristicPlacementEnumerator
+from .optimizer import PlacementDecision, PlacementOptimizer
+
+__all__ = ["HeuristicPlacementEnumerator", "PlacementDecision",
+           "PlacementOptimizer"]

@@ -1,0 +1,114 @@
+"""Heuristic placement enumeration (paper Fig. 5, after Governor [32]).
+
+Candidates respect three rules tailored to IoT scenarios:
+
+1. **Co-location** — several operators may share a host.
+2. **Increasing computing capability** — along the data flow, hosts
+   must belong to the same or a stronger capability bin (edge -> fog ->
+   cloud), mirroring how data streams from sensors toward the cloud.
+3. **Acyclic placements** — once the data flow leaves a host it never
+   returns to a previously-visited one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import HardwareRanges
+from ..hardware.cluster import Cluster
+from ..hardware.node import capability_score
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+
+__all__ = ["HeuristicPlacementEnumerator"]
+
+
+class HeuristicPlacementEnumerator:
+    """Generates placement candidates under the Fig. 5 rules."""
+
+    def __init__(self, cluster: Cluster,
+                 ranges: HardwareRanges | None = None,
+                 seed: int | np.random.Generator = 0):
+        self.cluster = cluster
+        self._rng = (seed if isinstance(seed, np.random.Generator)
+                     else np.random.default_rng(seed))
+        self._bins = cluster.bins(ranges)
+        self._score = {n.node_id: capability_score(n, ranges)
+                       for n in cluster.nodes}
+        self._strongest = max(cluster.node_ids, key=self._score.get)
+
+    # ------------------------------------------------------------------
+    def sample(self, plan: QueryPlan) -> Placement:
+        """Sample one random valid placement candidate."""
+        assignment: dict[str, str] = {}
+        visited: dict[str, frozenset[str]] = {}
+        for op_id in plan.topological_order():
+            parents = plan.parents(op_id)
+            eligible = self._eligible_nodes(assignment, visited, parents)
+            choice = eligible[self._rng.integers(len(eligible))]
+            assignment[op_id] = choice
+            upstream = frozenset().union(
+                *(visited[p] for p in parents)) if parents else frozenset()
+            visited[op_id] = upstream | {choice}
+        return Placement(assignment)
+
+    def enumerate(self, plan: QueryPlan, k: int,
+                  max_attempts_factor: int = 10) -> list[Placement]:
+        """Up to ``k`` distinct candidates (duplicates are discarded)."""
+        candidates: list[Placement] = []
+        seen: set[tuple[tuple[str, str], ...]] = set()
+        attempts = 0
+        while len(candidates) < k and attempts < k * max_attempts_factor:
+            attempts += 1
+            placement = self.sample(plan)
+            key = tuple(sorted(placement.items()))
+            if key not in seen:
+                seen.add(key)
+                candidates.append(placement)
+        return candidates
+
+    def default_placement(self, plan: QueryPlan) -> Placement:
+        """A deterministic initial heuristic placement.
+
+        Mimics a resource-oblivious scheduler: each operator goes to the
+        least-loaded host of the weakest still-eligible capability bin.
+        This is the baseline the Exp 2a speed-ups are measured against.
+        """
+        assignment: dict[str, str] = {}
+        visited: dict[str, frozenset[str]] = {}
+        load: dict[str, int] = {n: 0 for n in self.cluster.node_ids}
+        for op_id in plan.topological_order():
+            parents = plan.parents(op_id)
+            eligible = self._eligible_nodes(assignment, visited, parents)
+            weakest_bin = min(self._bins[n] for n in eligible)
+            pool = [n for n in eligible if self._bins[n] == weakest_bin]
+            choice = min(pool, key=lambda n: (load[n], -self._score[n]))
+            load[choice] += 1
+            assignment[op_id] = choice
+            upstream = frozenset().union(
+                *(visited[p] for p in parents)) if parents else frozenset()
+            visited[op_id] = upstream | {choice}
+        return Placement(assignment)
+
+    # ------------------------------------------------------------------
+    def _eligible_nodes(self, assignment: dict[str, str],
+                        visited: dict[str, frozenset[str]],
+                        parents: list[str]) -> list[str]:
+        if not parents:
+            return list(self.cluster.node_ids)
+        parent_nodes = {assignment[p] for p in parents}
+        min_bin = max(self._bins[n] for n in parent_nodes)
+        # Acyclicity must hold along EVERY data-flow path: a node is
+        # only allowed if, for each parent branch, it either was never
+        # visited on that branch or is the branch's current node
+        # (co-location with the immediate predecessor).
+        eligible = [
+            n for n in self.cluster.node_ids
+            if self._bins[n] >= min_bin
+            and all(n not in visited[p] or n == assignment[p]
+                    for p in parents)]
+        if not eligible:
+            # Degenerate landscape (e.g. the strongest bin is exhausted
+            # by the acyclicity rule): fall back to the strongest host.
+            return [self._strongest]
+        return eligible

@@ -1,0 +1,100 @@
+"""Cost-based placement selection (paper Section V, Fig. 4).
+
+The optimizer enumerates heuristic placement candidates, predicts every
+candidate's costs with COSTREAM, discards candidates predicted to fail
+or to be backpressured (majority vote over the ensemble), and returns
+the candidate with the best predicted target metric (ensemble mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for typing
+    from ..core.costream import Costream
+from ..core.graph import QueryGraph
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+from .enumeration import HeuristicPlacementEnumerator
+
+__all__ = ["PlacementDecision", "PlacementOptimizer"]
+
+#: Metrics where larger is better; everything else is minimized.
+_MAXIMIZE = ("throughput",)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of one placement optimization."""
+
+    placement: Placement
+    predicted_objective: float
+    objective: str
+    candidates_evaluated: int
+    feasible_candidates: int
+
+    @property
+    def fallback(self) -> bool:
+        """True when no candidate passed the success/backpressure gate
+        and the optimizer fell back to the best objective overall."""
+        return self.feasible_candidates == 0
+
+
+class PlacementOptimizer:
+    """Selects an initial operator placement using a cost model."""
+
+    def __init__(self, model: "Costream",
+                 objective: str = "processing_latency"):
+        if objective not in model.metrics:
+            raise ValueError(
+                f"model has no ensemble for objective {objective!r}")
+        self.model = model
+        self.objective = objective
+
+    # ------------------------------------------------------------------
+    def optimize(self, plan: QueryPlan, cluster: Cluster,
+                 n_candidates: int = 30,
+                 selectivities: dict[str, float] | None = None,
+                 enumerator: HeuristicPlacementEnumerator | None = None,
+                 seed: int = 0) -> PlacementDecision:
+        """Pick the best placement among heuristic candidates."""
+        enumerator = enumerator or HeuristicPlacementEnumerator(cluster,
+                                                                seed=seed)
+        candidates = enumerator.enumerate(plan, n_candidates)
+        if not candidates:
+            raise ValueError("placement enumeration yielded no candidates")
+        graphs = [self.model.build_graph(plan, candidate, cluster,
+                                         selectivities)
+                  for candidate in candidates]
+
+        feasible = self._feasibility_mask(graphs)
+        objective_values = self.model.predict_metric(self.objective, graphs)
+        maximize = self.objective in _MAXIMIZE
+        order = np.argsort(objective_values)
+        if maximize:
+            order = order[::-1]
+
+        feasible_order = [i for i in order if feasible[i]]
+        n_feasible = len(feasible_order)
+        best = feasible_order[0] if feasible_order else int(order[0])
+        return PlacementDecision(
+            placement=candidates[best],
+            predicted_objective=float(objective_values[best]),
+            objective=self.objective,
+            candidates_evaluated=len(candidates),
+            feasible_candidates=n_feasible)
+
+    # ------------------------------------------------------------------
+    def _feasibility_mask(self, graphs: list[QueryGraph]) -> np.ndarray:
+        """Success AND no-backpressure, via ensemble majority vote."""
+        feasible = np.ones(len(graphs), dtype=bool)
+        if "success" in self.model.metrics:
+            feasible &= self.model.predict_metric("success", graphs) >= 0.5
+        if "backpressure" in self.model.metrics:
+            feasible &= self.model.predict_metric("backpressure",
+                                                  graphs) < 0.5
+        return feasible

@@ -1,0 +1,13 @@
+"""Streaming query algebra, plans and workload generators."""
+
+from .datatypes import DataType, TupleSchema
+from .generator import QueryGenerator
+from .operators import (Filter, Operator, OperatorKind, Sink, Source, Window,
+                        WindowedAggregate, WindowedJoin)
+from .plan import PlanValidationError, QueryPlan, StreamAnnotation
+
+__all__ = [
+    "DataType", "TupleSchema", "QueryGenerator", "Filter", "Operator",
+    "OperatorKind", "Sink", "Source", "Window", "WindowedAggregate",
+    "WindowedJoin", "PlanValidationError", "QueryPlan", "StreamAnnotation",
+]

@@ -1,0 +1,89 @@
+"""Tuple schemas and data types of the streaming algebra.
+
+Streams carry flat tuples whose values are ``int``, ``double`` or
+``string``.  The simulator never materializes tuples — it only needs
+their byte widths and the relative compute cost of operating on each
+type — but the sampling-based selectivity estimator does generate
+synthetic columns of these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["DataType", "TupleSchema", "TYPE_BYTES", "TYPE_COMPARE_COST"]
+
+
+class DataType(str, Enum):
+    """A column type in a stream tuple."""
+
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        try:
+            return cls(name)
+        except ValueError:
+            raise ValueError(f"unknown data type {name!r}") from None
+
+
+#: Serialized size of one value of each type, in bytes.
+TYPE_BYTES: dict[DataType, int] = {
+    DataType.INT: 8,
+    DataType.DOUBLE: 8,
+    DataType.STRING: 32,
+}
+
+#: Relative CPU cost of comparing / hashing one value of each type.
+TYPE_COMPARE_COST: dict[DataType, float] = {
+    DataType.INT: 1.0,
+    DataType.DOUBLE: 1.1,
+    DataType.STRING: 2.5,
+}
+
+#: Per-tuple framing overhead (headers, timestamps), in bytes.
+TUPLE_OVERHEAD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class TupleSchema:
+    """An ordered collection of column types."""
+
+    columns: tuple[DataType, ...]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise ValueError("a tuple schema needs at least one column")
+
+    @classmethod
+    def of(cls, *names: str) -> "TupleSchema":
+        return cls(tuple(DataType.from_name(n) for n in names))
+
+    @classmethod
+    def random(cls, rng, width: int) -> "TupleSchema":
+        """Sample ``width`` column types uniformly."""
+        choices = list(DataType)
+        columns = tuple(choices[rng.integers(len(choices))]
+                        for _ in range(width))
+        return cls(columns)
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    @property
+    def bytes(self) -> int:
+        return (sum(TYPE_BYTES[c] for c in self.columns)
+                + TUPLE_OVERHEAD_BYTES)
+
+    def counts(self) -> dict[DataType, int]:
+        result = {t: 0 for t in DataType}
+        for column in self.columns:
+            result[column] += 1
+        return result
+
+    def concat(self, other: "TupleSchema") -> "TupleSchema":
+        return TupleSchema(self.columns + other.columns)

@@ -1,0 +1,211 @@
+"""Random workload generation over the Table II feature ranges.
+
+The :class:`QueryGenerator` samples streaming queries with the corpus
+statistics of Section VI: a 35/34/31 mix of linear, 2-way-join and
+3-way-join templates, 1-4 filter predicates, an aggregation in half of
+the queries, and operator/window/data properties drawn from the
+configured :class:`~repro.config.WorkloadRanges`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import WorkloadRanges, default_workload_ranges
+from .datatypes import DataType, TupleSchema
+from .operators import (Filter, Sink, Source, Window, WindowedAggregate,
+                        WindowedJoin)
+from .plan import QueryPlan
+from .templates import (LinearTemplate, ThreeWayJoinTemplate,
+                        TwoWayJoinTemplate)
+
+__all__ = ["QueryGenerator"]
+
+#: Selectivity assigned to global (no group-by) aggregations; the rate
+#: model emits max(1, sel * |window|) tuples per firing, so any value
+#: small enough collapses to one output tuple per window.
+_GLOBAL_AGG_SELECTIVITY = 1e-3
+
+
+class QueryGenerator:
+    """Samples random streaming queries from configurable feature ranges."""
+
+    def __init__(self, ranges: WorkloadRanges | None = None,
+                 seed: int | np.random.Generator = 0):
+        self.ranges = ranges or default_workload_ranges()
+        self._rng = (seed if isinstance(seed, np.random.Generator)
+                     else np.random.default_rng(seed))
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> QueryPlan:
+        """Sample one query with the paper's template mix."""
+        weights = np.asarray(self.ranges.template_weights, dtype=np.float64)
+        template = self._rng.choice(3, p=weights / weights.sum())
+        if template == 0:
+            return self.generate_linear()
+        if template == 1:
+            return self.generate_two_way()
+        return self.generate_three_way()
+
+    def generate_many(self, count: int) -> list[QueryPlan]:
+        return [self.generate() for _ in range(count)]
+
+    def generate_linear(self, n_filters: int | None = None,
+                        with_aggregation: bool | None = None) -> QueryPlan:
+        # Training corpora contain at most ONE consecutive filter
+        # (Section VII-E: "training has only seen 1 subsequent filter
+        # operator") — longer chains are the Exp 5 unseen patterns and
+        # must be requested explicitly via ``n_filters``.
+        n_filters = 1 if n_filters is None else n_filters
+        with_agg = self._sample_with_aggregation() if with_aggregation is None \
+            else with_aggregation
+        source = self._sample_source("src1", self.ranges.event_rate_linear)
+        filters = [self._sample_filter(f"filter{i + 1}", source.schema)
+                   for i in range(n_filters)]
+        aggregate = self._sample_aggregate("agg1") if with_agg else None
+        name = "linear" + ("+agg" if with_agg else "")
+        return LinearTemplate().build(source, filters, aggregate, name=name)
+
+    def generate_filter_chain(self, chain_length: int) -> QueryPlan:
+        """Unseen-pattern queries for Exp 5: long filter chains, no agg."""
+        plan = self.generate_linear(n_filters=chain_length,
+                                    with_aggregation=False)
+        return QueryPlan(list(plan.operators.values()), plan.edges,
+                         name=f"{chain_length}-filter-chain")
+
+    def generate_two_way(self, with_aggregation: bool | None = None
+                         ) -> QueryPlan:
+        with_agg = self._sample_with_aggregation() if with_aggregation is None \
+            else with_aggregation
+        sources = [self._sample_source(f"src{i + 1}",
+                                       self.ranges.event_rate_two_way)
+                   for i in range(2)]
+        branch_counts, post_count = self._split_filters(n_branches=2)
+        branch_filters = [
+            [self._sample_filter(f"filter{b + 1}_{i + 1}", src.schema)
+             for i in range(count)]
+            for b, (src, count) in enumerate(zip(sources, branch_counts))]
+        join = self._sample_join("join1")
+        post = [self._sample_filter(f"post_filter{i + 1}", sources[0].schema)
+                for i in range(post_count)]
+        aggregate = self._sample_aggregate("agg1", force_group_by=True) \
+            if with_agg else None
+        name = "two-way-join" + ("+agg" if with_agg else "")
+        return TwoWayJoinTemplate().build(sources, branch_filters, join,
+                                          post, aggregate, name=name)
+
+    def generate_three_way(self, with_aggregation: bool | None = None
+                           ) -> QueryPlan:
+        with_agg = self._sample_with_aggregation() if with_aggregation is None \
+            else with_aggregation
+        sources = [self._sample_source(f"src{i + 1}",
+                                       self.ranges.event_rate_three_way)
+                   for i in range(3)]
+        branch_counts, post_count = self._split_filters(n_branches=3)
+        branch_filters = [
+            [self._sample_filter(f"filter{b + 1}_{i + 1}", src.schema)
+             for i in range(count)]
+            for b, (src, count) in enumerate(zip(sources, branch_counts))]
+        joins = [self._sample_join("join1"), self._sample_join("join2")]
+        post = [self._sample_filter(f"post_filter{i + 1}", sources[0].schema)
+                for i in range(post_count)]
+        aggregate = self._sample_aggregate("agg1", force_group_by=True) \
+            if with_agg else None
+        name = "three-way-join" + ("+agg" if with_agg else "")
+        return ThreeWayJoinTemplate().build(sources, branch_filters, joins,
+                                            post, aggregate, name=name)
+
+    # ------------------------------------------------------------------
+    # Component samplers
+    # ------------------------------------------------------------------
+    def _choice(self, values) -> object:
+        return values[self._rng.integers(len(values))]
+
+    def _sample_filter_count(self) -> int:
+        weights = np.asarray(self.ranges.filter_count_weights,
+                             dtype=np.float64)
+        return int(self._rng.choice(len(weights),
+                                    p=weights / weights.sum())) + 1
+
+    def _sample_with_aggregation(self) -> bool:
+        return bool(self._rng.random() < self.ranges.aggregation_probability)
+
+    def _split_filters(self, n_branches: int) -> tuple[list[int], int]:
+        """Distribute the sampled filter count over branches + post-join.
+
+        At most one filter lands in each slot: the training corpus
+        never contains chains of consecutive filters (those are the
+        Exp 5 unseen query patterns).
+        """
+        slots = n_branches + 1  # one extra slot after the join(s)
+        total = min(self._sample_filter_count(), slots)
+        chosen = self._rng.permutation(slots)[:total]
+        counts = [1 if slot in chosen else 0 for slot in range(slots)]
+        return counts[:n_branches], counts[-1]
+
+    def _sample_source(self, op_id: str,
+                       rate_range: tuple[float, ...]) -> Source:
+        width = int(self._choice(self.ranges.tuple_width))
+        schema = TupleSchema.random(self._rng, width)
+        rate = float(self._choice(rate_range))
+        return Source(op_id, rate, schema)
+
+    def _sample_filter(self, op_id: str,
+                       schema: TupleSchema | None = None) -> Filter:
+        function = str(self._choice(self.ranges.filter_functions))
+        if function in ("startswith", "endswith"):
+            literal_type = DataType.STRING
+        else:
+            literal_type = DataType.from_name(
+                str(self._choice(self.ranges.literal_types)))
+        low, high = self.ranges.filter_selectivity
+        selectivity = float(self._rng.uniform(low, high))
+        return Filter(op_id, function, literal_type, selectivity)
+
+    def _sample_window(self) -> Window:
+        policy = str(self._choice(self.ranges.window_policies))
+        window_type = str(self._choice(self.ranges.window_types))
+        if policy == "count":
+            size = float(self._choice(self.ranges.window_size_count))
+        else:
+            size = float(self._choice(self.ranges.window_size_time))
+        if window_type == "tumbling":
+            return Window.tumbling(policy, size)
+        low, high = self.ranges.slide_ratio
+        slide = size * float(self._rng.uniform(low, high))
+        if policy == "count":
+            slide = float(max(1, round(slide)))
+        slide = min(slide, size)
+        return Window.sliding(policy, size, slide)
+
+    def _sample_aggregate(self, op_id: str,
+                          force_group_by: bool = False) -> WindowedAggregate:
+        window = self._sample_window()
+        function = str(self._choice(self.ranges.agg_functions))
+        agg_type = DataType.from_name(
+            str(self._choice(("int", "double"))))
+        group_by_name = str(self._choice(self.ranges.group_by_types))
+        if force_group_by and group_by_name == "none":
+            group_by_name = "int"
+        group_by = (None if group_by_name == "none"
+                    else DataType.from_name(group_by_name))
+        if group_by is None:
+            selectivity = _GLOBAL_AGG_SELECTIVITY
+        else:
+            low, high = self.ranges.agg_selectivity
+            selectivity = float(self._rng.uniform(low, high))
+        return WindowedAggregate(op_id, window, function, agg_type,
+                                 group_by, selectivity)
+
+    def _sample_join(self, op_id: str) -> WindowedJoin:
+        window = self._sample_window()
+        key_type = DataType.from_name(
+            str(self._choice(self.ranges.join_key_types)))
+        low, high = self.ranges.join_selectivity
+        # Log-uniform: join selectivities span orders of magnitude.
+        selectivity = float(np.exp(self._rng.uniform(np.log(low),
+                                                     np.log(high))))
+        return WindowedJoin(op_id, window, key_type, selectivity)

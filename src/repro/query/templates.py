@@ -1,0 +1,113 @@
+"""Query templates used for training-corpus generation (paper Fig. 6).
+
+Three template families are generated: linear filter queries, 2-way-join
+queries and 3-way-join queries.  Filters are distributed over the source
+branches (and after joins), and half of the queries carry a windowed
+aggregation, matching the corpus statistics reported in Section VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .operators import (Filter, Operator, Sink, Source, Window,
+                        WindowedAggregate, WindowedJoin)
+from .plan import QueryPlan
+
+__all__ = ["LinearTemplate", "TwoWayJoinTemplate", "ThreeWayJoinTemplate",
+           "QueryTemplate", "chain"]
+
+
+def chain(operators: list[Operator]) -> list[tuple[str, str]]:
+    """Edges wiring a list of operators into a linear pipeline."""
+    return [(a.op_id, b.op_id)
+            for a, b in zip(operators[:-1], operators[1:])]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """Base class; concrete templates assemble a plan from sampled parts."""
+
+    def build(self, **parts) -> QueryPlan:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearTemplate(QueryTemplate):
+    """source -> filter chain -> [aggregate] -> sink."""
+
+    def build(self, source: Source, filters: list[Filter],
+              aggregate: WindowedAggregate | None,
+              name: str = "linear") -> QueryPlan:
+        pipeline: list[Operator] = [source, *filters]
+        if aggregate is not None:
+            pipeline.append(aggregate)
+        pipeline.append(Sink("sink"))
+        return QueryPlan(pipeline, chain(pipeline), name=name)
+
+
+@dataclass(frozen=True)
+class TwoWayJoinTemplate(QueryTemplate):
+    """Two (optionally filtered) streams joined, then [aggregate] -> sink."""
+
+    def build(self, sources: list[Source],
+              branch_filters: list[list[Filter]], join: WindowedJoin,
+              post_filters: list[Filter],
+              aggregate: WindowedAggregate | None,
+              name: str = "two-way-join") -> QueryPlan:
+        if len(sources) != 2 or len(branch_filters) != 2:
+            raise ValueError("two-way template needs two source branches")
+        operators: list[Operator] = []
+        edges: list[tuple[str, str]] = []
+        branch_tails: list[str] = []
+        for source, filters in zip(sources, branch_filters):
+            branch: list[Operator] = [source, *filters]
+            operators.extend(branch)
+            edges.extend(chain(branch))
+            branch_tails.append(branch[-1].op_id)
+        operators.append(join)
+        edges.extend((tail, join.op_id) for tail in branch_tails)
+        downstream: list[Operator] = [join, *post_filters]
+        if aggregate is not None:
+            downstream.append(aggregate)
+        downstream.append(Sink("sink"))
+        operators.extend(downstream[1:])
+        edges.extend(chain(downstream))
+        return QueryPlan(operators, edges, name=name)
+
+
+@dataclass(frozen=True)
+class ThreeWayJoinTemplate(QueryTemplate):
+    """Three streams joined pairwise (left-deep), then [aggregate] -> sink."""
+
+    def build(self, sources: list[Source],
+              branch_filters: list[list[Filter]],
+              joins: list[WindowedJoin], post_filters: list[Filter],
+              aggregate: WindowedAggregate | None,
+              name: str = "three-way-join") -> QueryPlan:
+        if len(sources) != 3 or len(branch_filters) != 3:
+            raise ValueError("three-way template needs three source branches")
+        if len(joins) != 2:
+            raise ValueError("three-way template needs two join operators")
+        operators: list[Operator] = []
+        edges: list[tuple[str, str]] = []
+        branch_tails: list[str] = []
+        for source, filters in zip(sources, branch_filters):
+            branch: list[Operator] = [source, *filters]
+            operators.extend(branch)
+            edges.extend(chain(branch))
+            branch_tails.append(branch[-1].op_id)
+        first, second = joins
+        operators.append(first)
+        edges.append((branch_tails[0], first.op_id))
+        edges.append((branch_tails[1], first.op_id))
+        operators.append(second)
+        edges.append((first.op_id, second.op_id))
+        edges.append((branch_tails[2], second.op_id))
+        downstream: list[Operator] = [second, *post_filters]
+        if aggregate is not None:
+            downstream.append(aggregate)
+        downstream.append(Sink("sink"))
+        operators.extend(downstream[1:])
+        edges.extend(chain(downstream))
+        return QueryPlan(operators, edges, name=name)

@@ -1,0 +1,16 @@
+"""Simulated DSPS substrate (replaces the paper's Storm/Kafka testbed)."""
+
+from .analytical import AnalyticalSimulator, ExecutionSnapshot
+from .config import SimulationConfig
+from .fluid import FluidSimulation, RuntimeStats
+from .result import (CLASSIFICATION_METRICS, METRIC_NAMES, QueryMetrics,
+                     REGRESSION_METRICS)
+from .runtime import DSPSSimulator
+from .selectivity import ExactSelectivities, SelectivityEstimator
+
+__all__ = [
+    "AnalyticalSimulator", "ExecutionSnapshot", "SimulationConfig",
+    "FluidSimulation", "RuntimeStats", "QueryMetrics", "METRIC_NAMES",
+    "REGRESSION_METRICS", "CLASSIFICATION_METRICS", "DSPSSimulator",
+    "SelectivityEstimator", "ExactSelectivities",
+]

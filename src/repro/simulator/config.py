@@ -1,0 +1,54 @@
+"""Tunable physical constants of the DSPS execution simulator.
+
+The defaults are calibrated so that the Table II workload/hardware grids
+produce a label distribution qualitatively similar to the paper's
+corpus: a broad mix of healthy, backpressured and failing executions,
+with throughput and latency labels spanning several orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Physical constants of the simulated edge-cloud DSPS."""
+
+    # The paper executes every query for ~4 minutes of stable load.
+    execution_seconds: float = 240.0
+
+    # Work capacity (abstract cost units per second) of a 100% CPU node.
+    reference_capacity: float = 12_000.0
+
+    # JVM-like memory model: fixed runtime footprint per node and per
+    # deployed operator, on top of windowed-operator state.
+    node_footprint_mb: float = 550.0
+    operator_footprint_mb: float = 180.0
+    #: Occupancy above which garbage collection starts stealing capacity.
+    gc_pressure_threshold: float = 0.70
+    #: Capacity multiplier floor under extreme (but not fatal) GC churn.
+    gc_capacity_floor: float = 0.25
+    #: Occupancy beyond which the worker crashes (query success = 0);
+    #: below 1.0 because JVM heaps thrash to death before they are
+    #: literally full.
+    oom_threshold: float = 0.92
+
+    # Message-broker (Kafka-like) behaviour.
+    broker_base_latency_ms: float = 8.0
+
+    # Queueing-delay cap: a tuple never waits more than this many
+    # multiples of its service time in an operator queue.
+    max_queue_wait_factor: float = 50.0
+
+    # Label noise (multiplicative log-normal sigma), mimicking run-to-run
+    # variance of the real testbed.
+    throughput_noise: float = 0.06
+    latency_noise: float = 0.12
+    #: Per-node efficiency jitter (hardware is never perfectly uniform).
+    node_efficiency_noise: float = 0.04
+
+    # Fluid (time-stepped) simulator resolution.
+    fluid_step_seconds: float = 0.5

@@ -1,0 +1,134 @@
+"""Per-operator CPU-cost and memory-state models.
+
+These functions translate the *logical* stream annotations of a plan
+into physical resource demands: how many abstract cost units per second
+an operator burns on its host, and how many bytes of state it pins in
+memory.  They encode the causal structure the paper's cost model has to
+learn — e.g. string predicates cost more than integer ones, join probe
+cost grows with the opposite window's cardinality, and windowed-operator
+state grows with window length and tuple width.
+"""
+
+from __future__ import annotations
+
+from ..query.datatypes import DataType, TYPE_COMPARE_COST
+from ..query.operators import (Filter, Operator, OperatorKind, Sink, Source,
+                               WindowedAggregate, WindowedJoin)
+from ..query.plan import StreamAnnotation
+
+__all__ = ["operator_load", "operator_state_bytes", "held_tuples_per_side"]
+
+#: Hash-table bookkeeping overhead relative to raw tuple payload bytes.
+_HASH_OVERHEAD = 1.5
+
+#: JVM heap expansion: a serialized tuple of N bytes occupies roughly
+#: this many times more memory as live objects on a Java heap (boxed
+#: fields, object headers, GC headroom — the dominant DSPS
+#: implementations are all JVM-based, cf. Section IV-A).
+_HEAP_MULTIPLIER = 24.0
+
+#: Extra per-tuple cost of string-only predicate functions.
+_STRING_FUNCTION_COST = 0.8
+
+#: Extra per-tuple bookkeeping for sliding (vs tumbling) windows.
+_SLIDING_WINDOW_COST = 0.4
+
+
+def _compare_cost(data_type: DataType | None) -> float:
+    if data_type is None:
+        return 0.0
+    return TYPE_COMPARE_COST[data_type]
+
+
+def held_tuples_per_side(operator: WindowedJoin,
+                         inputs: list[StreamAnnotation]) -> tuple[float, float]:
+    """Expected tuples buffered per input stream of a windowed join."""
+    left, right = inputs
+    window = operator.window
+    return (window.expected_tuples(left.output_rate),
+            window.expected_tuples(right.output_rate))
+
+
+def operator_load(operator: Operator, inputs: list[StreamAnnotation],
+                  annotation: StreamAnnotation) -> float:
+    """CPU demand of one operator in cost units per second.
+
+    ``inputs`` holds the annotations of the upstream operators (empty
+    for sources) and ``annotation`` the operator's own annotation.
+    """
+    kind = operator.kind
+    in_rate = annotation.input_rate
+    out_rate = annotation.output_rate
+
+    if kind is OperatorKind.SOURCE:
+        assert isinstance(operator, Source)
+        per_tuple = 1.0 + 0.08 * annotation.output_width
+        return in_rate * per_tuple
+
+    if kind is OperatorKind.FILTER:
+        assert isinstance(operator, Filter)
+        per_tuple = 0.6 + 0.5 * _compare_cost(operator.literal_type)
+        if operator.function in ("startswith", "endswith"):
+            per_tuple += _STRING_FUNCTION_COST
+        return in_rate * per_tuple
+
+    if kind is OperatorKind.AGGREGATE:
+        assert isinstance(operator, WindowedAggregate)
+        update = 1.0 + 0.5 * _compare_cost(operator.group_by_type)
+        update += 0.2 * _compare_cost(operator.agg_type)
+        if operator.window.window_type == "sliding":
+            update += _SLIDING_WINDOW_COST
+        emission = 1.5 + 0.15 * annotation.output_width
+        return in_rate * update + out_rate * emission
+
+    if kind is OperatorKind.JOIN:
+        assert isinstance(operator, WindowedJoin)
+        held_left, held_right = held_tuples_per_side(operator, inputs)
+        key_cost = _compare_cost(operator.key_type)
+        left, right = inputs
+        # Every arriving tuple is inserted into its own window and
+        # probed against the opposite one; probing cost grows (mildly)
+        # with the opposite window's cardinality, and every produced
+        # pair pays an emission cost.
+        insert = 0.8 + 0.3 * key_cost
+        probe_left = key_cost * (1.0 + 0.008 * held_right)
+        probe_right = key_cost * (1.0 + 0.008 * held_left)
+        if operator.window.window_type == "sliding":
+            insert += _SLIDING_WINDOW_COST
+        emission = 0.8 + 0.05 * annotation.output_width
+        return (left.output_rate * (insert + probe_left)
+                + right.output_rate * (insert + probe_right)
+                + out_rate * emission)
+
+    if kind is OperatorKind.SINK:
+        assert isinstance(operator, Sink)
+        per_tuple = 0.5 + 0.05 * annotation.input_width
+        return in_rate * per_tuple
+
+    raise ValueError(f"unknown operator kind {kind!r}")
+
+
+def operator_state_bytes(operator: Operator, inputs: list[StreamAnnotation],
+                         annotation: StreamAnnotation) -> float:
+    """Bytes of operator state held in memory (windows, group tables)."""
+    kind = operator.kind
+
+    if kind is OperatorKind.AGGREGATE:
+        assert isinstance(operator, WindowedAggregate)
+        held = operator.window.expected_tuples(annotation.input_rate)
+        window_buffer = held * annotation.input_schema.bytes
+        groups = max(1.0, operator.selectivity * held)
+        group_table = groups * annotation.output_schema.bytes * _HASH_OVERHEAD
+        return _HEAP_MULTIPLIER * (window_buffer + group_table)
+
+    if kind is OperatorKind.JOIN:
+        assert isinstance(operator, WindowedJoin)
+        left, right = inputs
+        held_left, held_right = held_tuples_per_side(operator, inputs)
+        return _HEAP_MULTIPLIER * _HASH_OVERHEAD * (
+            held_left * left.output_schema.bytes
+            + held_right * right.output_schema.bytes)
+
+    # Stateless operators only buffer in-flight tuples (counted in the
+    # fixed per-operator footprint).
+    return 0.0

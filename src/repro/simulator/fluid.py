@@ -1,0 +1,318 @@
+"""Time-stepped (fluid) execution simulator.
+
+While :mod:`repro.simulator.analytical` computes steady-state labels in
+closed form, this module actually *plays out* an execution over time:
+broker queues fill, operators drain them with the CPU share their host
+grants, tuples cross links with finite bandwidth, and queues grow when
+a resource saturates.  Its two jobs are (1) validating the analytical
+model's steady state and (2) powering the online-monitoring baseline of
+Exp 2b, which observes runtime statistics and migrates operators
+mid-execution (a capability an offline model never needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..query.operators import OperatorKind
+from ..query.plan import QueryPlan
+from .config import SimulationConfig
+from .costs import operator_load
+from .result import QueryMetrics
+
+__all__ = ["FluidSimulation", "RuntimeStats"]
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass
+class RuntimeStats:
+    """Monitoring statistics observable at runtime (Exp 2b baseline)."""
+
+    time_s: float
+    node_utilization: dict[str, float]
+    operator_queue: dict[str, float]
+    broker_queue: float
+    processing_latency_ms: float
+    sink_rate: float
+
+
+@dataclass
+class _OperatorState:
+    queue: float = 0.0            # buffered input tuples
+    processed: float = 0.0        # cumulative processed input tuples
+    emitted: float = 0.0          # cumulative output tuples
+    frozen_until: float = 0.0     # migration pause deadline
+
+
+class FluidSimulation:
+    """A mutable, steppable execution of one placed query."""
+
+    def __init__(self, plan: QueryPlan, placement: Placement,
+                 cluster: Cluster, config: SimulationConfig | None = None,
+                 seed: int = 0):
+        placement.validate(plan, cluster)
+        self.plan = plan
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.placement = placement
+        self._rng = np.random.default_rng(seed)
+
+        annotations = plan.annotations()
+        self._per_tuple_cost: dict[str, float] = {}
+        self._out_ratio: dict[str, float] = {}
+        self._out_bytes: dict[str, float] = {}
+        for op_id in plan.topological_order():
+            operator = plan.operator(op_id)
+            annotation = annotations[op_id]
+            inputs = [annotations[p] for p in plan.parents(op_id)]
+            load = operator_load(operator, inputs, annotation)
+            in_rate = annotation.input_rate
+            self._per_tuple_cost[op_id] = load / in_rate if in_rate else 0.0
+            self._out_ratio[op_id] = (annotation.output_rate / in_rate
+                                      if in_rate else 0.0)
+            self._out_bytes[op_id] = float(annotation.output_schema.bytes)
+        self._window_wait_s = _window_waits(plan)
+
+        self.time_s = 0.0
+        self.broker_queue: dict[str, float] = {s: 0.0 for s in plan.sources}
+        self.ops: dict[str, _OperatorState] = {
+            o: _OperatorState() for o in plan.topological_order()}
+        self.sink_arrivals = 0.0
+        self._sink_window: list[tuple[float, float]] = []
+        self._efficiency = {
+            n: float(self._rng.lognormal(
+                0.0, self.config.node_efficiency_noise))
+            for n in cluster.node_ids}
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, dt: float | None = None) -> None:
+        """Advance the execution by one time step."""
+        dt = dt or self.config.fluid_step_seconds
+        plan = self.plan
+        # 1. New events arrive at the broker.
+        for source_id in plan.sources:
+            rate = plan.operator(source_id).event_rate
+            self.broker_queue[source_id] += rate * dt
+            self.ops[source_id].queue = self.broker_queue[source_id]
+
+        # 2. Each node grants its capacity to the demanding operators.
+        processed = self._schedule_cpu(dt)
+
+        # 3. Outputs propagate to children, limited by sender bandwidth.
+        self._propagate(processed, dt)
+
+    def run(self, duration_s: float | None = None,
+            record_every_s: float = 5.0) -> list[RuntimeStats]:
+        """Run to ``duration_s`` and return the recorded timeline."""
+        duration_s = duration_s or self.config.execution_seconds
+        timeline: list[RuntimeStats] = []
+        next_record = 0.0
+        while self.time_s < duration_s:
+            self.step()
+            self.time_s += self.config.fluid_step_seconds
+            if self.time_s >= next_record:
+                timeline.append(self.stats())
+                next_record += record_every_s
+        return timeline
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _node_capacity(self, node_id: str) -> float:
+        node = self.cluster.node(node_id)
+        ops_here = self.placement.operators_on(node_id)
+        occupancy = (self.config.node_footprint_mb
+                     + len(ops_here) * self.config.operator_footprint_mb) \
+            / node.ram_mb
+        gc = 1.0
+        threshold = self.config.gc_pressure_threshold
+        if occupancy > threshold:
+            pressure = (occupancy - threshold) / max(1e-9, 1.0 - threshold)
+            gc = max(self.config.gc_capacity_floor, 1.0 - 0.75 * pressure)
+        return (node.cpu / 100.0) * self.config.reference_capacity \
+            * self._efficiency[node_id] * gc
+
+    def _schedule_cpu(self, dt: float) -> dict[str, float]:
+        """Proportional-share CPU allocation; returns tuples processed."""
+        processed: dict[str, float] = {o: 0.0 for o in self.ops}
+        for node_id in self.placement.used_nodes():
+            budget = self._node_capacity(node_id) * dt
+            ops_here = [o for o in self.placement.operators_on(node_id)
+                        if self.time_s >= self.ops[o].frozen_until]
+            demand = {o: self.ops[o].queue * self._per_tuple_cost[o]
+                      for o in ops_here}
+            total_demand = sum(demand.values())
+            if total_demand <= 0.0:
+                continue
+            for op_id in ops_here:
+                grant = budget * demand[op_id] / total_demand
+                grant = min(grant, demand[op_id])
+                cost = self._per_tuple_cost[op_id]
+                tuples = grant / cost if cost > 0 else self.ops[op_id].queue
+                tuples = min(tuples, self.ops[op_id].queue)
+                processed[op_id] = tuples
+        return processed
+
+    def _propagate(self, processed: dict[str, float], dt: float) -> None:
+        plan = self.plan
+        # Bandwidth budget per sender node for this step, in bytes.
+        budget_bytes = {
+            n: self.cluster.node(n).bandwidth_mbits * 1e6 / 8.0 * dt
+            for n in self.cluster.node_ids}
+        for op_id in plan.topological_order():
+            done = processed.get(op_id, 0.0)
+            if done <= 0.0:
+                continue
+            state = self.ops[op_id]
+            operator = plan.operator(op_id)
+            if operator.kind is OperatorKind.SOURCE:
+                self.broker_queue[op_id] -= done
+                self.broker_queue[op_id] = max(self.broker_queue[op_id], 0.0)
+                state.queue = self.broker_queue[op_id]
+            else:
+                state.queue = max(state.queue - done, 0.0)
+            state.processed += done
+            out = done * self._out_ratio[op_id]
+            state.emitted += out
+            children = plan.children(op_id)
+            if not children:
+                self.sink_arrivals += done
+                self._sink_window.append((self.time_s, done))
+                continue
+            child = children[0]
+            sender = self.placement.node_of(op_id)
+            receiver = self.placement.node_of(child)
+            if sender != receiver:
+                need = out * self._out_bytes[op_id]
+                available = budget_bytes[sender]
+                if need > available > 0.0:
+                    shipped = out * available / need
+                    # Unshipped tuples stay queued at the producer.
+                    state.queue += (out - shipped) / max(
+                        self._out_ratio[op_id], 1e-9)
+                    out = shipped
+                budget_bytes[sender] = max(
+                    0.0, available - out * self._out_bytes[op_id])
+            self.ops[child].queue += out
+
+    # ------------------------------------------------------------------
+    # Observation / control
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """A monitoring snapshot, as an online scheduler would collect."""
+        utilization: dict[str, float] = {}
+        for node_id in self.placement.used_nodes():
+            capacity = self._node_capacity(node_id)
+            demand_rate = sum(
+                self.ops[o].queue * self._per_tuple_cost[o]
+                for o in self.placement.operators_on(node_id))
+            utilization[node_id] = min(
+                demand_rate / (capacity * self.config.fluid_step_seconds)
+                if capacity > 0 else float("inf"), 100.0)
+        return RuntimeStats(
+            time_s=self.time_s,
+            node_utilization=utilization,
+            operator_queue={o: s.queue for o, s in self.ops.items()},
+            broker_queue=sum(self.broker_queue.values()),
+            processing_latency_ms=self.processing_latency_ms(),
+            sink_rate=self.recent_sink_rate())
+
+    def processing_latency_ms(self) -> float:
+        """Instantaneous Little's-law latency of the slowest path."""
+        worst = 0.0
+        for path in _paths(self.plan):
+            total_s = 0.0
+            for index, op_id in enumerate(path):
+                state = self.ops[op_id]
+                node = self.placement.node_of(op_id)
+                capacity = self._node_capacity(node)
+                cost = self._per_tuple_cost[op_id]
+                service_s = cost / capacity if capacity > 0 else 0.0
+                in_rate = max(self.plan.annotations()[op_id].input_rate,
+                              1e-9)
+                wait_s = min(state.queue / in_rate,
+                             self.config.execution_seconds)
+                total_s += service_s + wait_s + self._window_wait_s[op_id]
+                if index + 1 < len(path):
+                    child = path[index + 1]
+                    link = self.cluster.link(node,
+                                             self.placement.node_of(child))
+                    total_s += link.latency_ms / 1000.0
+            worst = max(worst, total_s)
+        return worst * 1000.0
+
+    def recent_sink_rate(self, horizon_s: float = 20.0) -> float:
+        cutoff = self.time_s - horizon_s
+        recent = sum(count for t, count in self._sink_window if t >= cutoff)
+        return recent / horizon_s
+
+    def migrate(self, op_id: str, node_id: str,
+                pause_s: float = 2.0) -> None:
+        """Move one operator, paying a state-transfer pause."""
+        old_node = self.placement.node_of(op_id)
+        if old_node == node_id:
+            return
+        link = self.cluster.link(old_node, node_id)
+        state_bytes = self.ops[op_id].queue * self._out_bytes[op_id]
+        transfer_s = link.transfer_seconds(state_bytes)
+        self.placement = self.placement.with_move(op_id, node_id)
+        self.ops[op_id].frozen_until = self.time_s + pause_s + transfer_s
+
+    # ------------------------------------------------------------------
+    # Final metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> QueryMetrics:
+        """Summarize the execution so far as the five cost metrics."""
+        duration = max(self.time_s, 1e-9)
+        throughput = self.sink_arrivals / duration
+        lp_ms = self.processing_latency_ms()
+        arrival = sum(self.plan.operator(s).event_rate
+                      for s in self.plan.sources)
+        broker_wait_s = sum(self.broker_queue.values()) / max(arrival, 1e-9)
+        le_ms = lp_ms + self.config.broker_base_latency_ms \
+            + broker_wait_s * 1000.0
+        backpressure = sum(self.broker_queue.values()) > arrival * 2.0
+        success = self.sink_arrivals >= 1.0
+        return QueryMetrics(throughput=throughput, e2e_latency_ms=le_ms,
+                            processing_latency_ms=lp_ms,
+                            backpressure=backpressure, success=success)
+
+
+def _window_waits(plan: QueryPlan) -> dict[str, float]:
+    annotations = plan.annotations()
+    waits: dict[str, float] = {}
+    for op_id in plan.topological_order():
+        operator = plan.operator(op_id)
+        window = getattr(operator, "window", None)
+        if window is None:
+            waits[op_id] = 0.0
+        elif window.policy == "time":
+            waits[op_id] = window.slide / 2.0
+        else:
+            rate = max(annotations[op_id].input_rate, 1e-9)
+            waits[op_id] = window.slide / (2.0 * rate)
+    return waits
+
+
+def _paths(plan: QueryPlan) -> list[list[str]]:
+    paths: list[list[str]] = []
+
+    def walk(op_id: str, trail: list[str]) -> None:
+        trail = trail + [op_id]
+        children = plan.children(op_id)
+        if not children:
+            paths.append(trail)
+            return
+        for child in children:
+            walk(child, trail)
+
+    for source in plan.sources:
+        walk(source, [])
+    return paths

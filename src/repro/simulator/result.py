@@ -1,0 +1,62 @@
+"""Result types produced by the DSPS execution simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueryMetrics", "METRIC_NAMES", "REGRESSION_METRICS",
+           "CLASSIFICATION_METRICS"]
+
+#: The five cost metrics of Section IV-A, in paper order.
+METRIC_NAMES = ("throughput", "e2e_latency", "processing_latency",
+                "backpressure", "success")
+REGRESSION_METRICS = ("throughput", "e2e_latency", "processing_latency")
+CLASSIFICATION_METRICS = ("backpressure", "success")
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Observed (or predicted) execution costs of one placed query.
+
+    Attributes mirror the paper's metric set ``C = (T, Le, Lp, RO, S)``:
+
+    * ``throughput`` — output tuples per second arriving at the sink.
+    * ``e2e_latency_ms`` — end-to-end latency including broker waiting.
+    * ``processing_latency_ms`` — computation + network latency only.
+    * ``backpressure`` — ``True`` if tuples queued up in the broker
+      (note the paper encodes this as ``RO = 0``; we store the plain
+      boolean and keep the paper's encoding at the reporting layer).
+    * ``success`` — ``True`` if at least one tuple reached the sink and
+      the query did not crash.
+    """
+
+    throughput: float
+    e2e_latency_ms: float
+    processing_latency_ms: float
+    backpressure: bool
+    success: bool
+
+    def value(self, metric: str) -> float:
+        """Scalar label for one of the five metric names."""
+        if metric == "throughput":
+            return self.throughput
+        if metric == "e2e_latency":
+            return self.e2e_latency_ms
+        if metric == "processing_latency":
+            return self.processing_latency_ms
+        if metric == "backpressure":
+            return float(self.backpressure)
+        if metric == "success":
+            return float(self.success)
+        raise KeyError(f"unknown metric {metric!r}")
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: self.value(name) for name in METRIC_NAMES}
+
+    @classmethod
+    def from_dict(cls, values: dict[str, float]) -> "QueryMetrics":
+        return cls(throughput=float(values["throughput"]),
+                   e2e_latency_ms=float(values["e2e_latency"]),
+                   processing_latency_ms=float(values["processing_latency"]),
+                   backpressure=bool(values["backpressure"]),
+                   success=bool(values["success"]))

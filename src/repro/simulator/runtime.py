@@ -1,0 +1,42 @@
+"""Facade for executing a placed query on the simulated DSPS."""
+
+from __future__ import annotations
+
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..query.plan import QueryPlan
+from .analytical import AnalyticalSimulator
+from .config import SimulationConfig
+from .fluid import FluidSimulation
+from .result import QueryMetrics
+
+__all__ = ["DSPSSimulator"]
+
+
+class DSPSSimulator:
+    """Runs streaming queries on the simulated edge-cloud landscape.
+
+    ``backend='analytical'`` (default) computes steady-state metrics in
+    closed form — this is what training-data collection uses, mirroring
+    the paper's 5-minutes-per-query testbed executions at a tiny
+    fraction of the cost.  ``backend='fluid'`` plays the execution out
+    over time and is mainly useful for dynamic scenarios.
+    """
+
+    def __init__(self, config: SimulationConfig | None = None,
+                 backend: str = "analytical"):
+        if backend not in ("analytical", "fluid"):
+            raise ValueError(f"unknown simulator backend {backend!r}")
+        self.config = config or SimulationConfig()
+        self.backend = backend
+        self._analytical = AnalyticalSimulator(self.config)
+
+    def run(self, plan: QueryPlan, placement: Placement, cluster: Cluster,
+            seed: int = 0) -> QueryMetrics:
+        """Execute one placed query and return its cost metrics."""
+        if self.backend == "analytical":
+            return self._analytical.run(plan, placement, cluster, seed)
+        simulation = FluidSimulation(plan, placement, cluster, self.config,
+                                     seed)
+        simulation.run(self.config.execution_seconds)
+        return simulation.metrics()

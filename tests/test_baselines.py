@@ -1,0 +1,131 @@
+"""Tests for the flat-vector and online-monitoring baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (FlatVectorFeaturizer, FlatVectorModel,
+                             OnlineMonitoringScheduler)
+from repro.core import q_error
+from repro.placement import HeuristicPlacementEnumerator
+
+
+class TestFlatVectorFeaturizer:
+    def test_vector_matches_feature_names(self, tiny_corpus):
+        featurizer = FlatVectorFeaturizer()
+        vector = featurizer.vector(tiny_corpus[0])
+        assert vector.shape == (len(featurizer.FEATURE_NAMES),)
+        assert np.all(np.isfinite(vector))
+
+    def test_matrix_stacks(self, tiny_corpus):
+        matrix = FlatVectorFeaturizer().matrix(tiny_corpus[:12])
+        assert matrix.shape[0] == 12
+
+    def test_placement_structure_is_invisible(self, tiny_corpus):
+        """Swapping which operator sits on which host (while keeping
+        the same host set and co-location degree) must not change the
+        flat vector — this is the structural blindness the paper's
+        Fig. 12 ablation demonstrates."""
+        featurizer = FlatVectorFeaturizer()
+        trace = next(t for t in tiny_corpus
+                     if len(t.placement.used_nodes()) >= 2)
+        placement = trace.placement
+        used = placement.used_nodes()
+        ops_a = placement.operators_on(used[0])
+        ops_b = placement.operators_on(used[1])
+        if len(ops_a) != len(ops_b):
+            pytest.skip("need equal-size groups to keep aggregates fixed")
+        swapped = dict(placement.assignment)
+        for op in ops_a:
+            swapped[op] = used[1]
+        for op in ops_b:
+            swapped[op] = used[0]
+        from repro.data import QueryTrace
+        from repro.hardware import Placement
+        other = QueryTrace(plan=trace.plan, placement=Placement(swapped),
+                           cluster=trace.cluster, metrics=trace.metrics,
+                           selectivities=trace.selectivities)
+        np.testing.assert_allclose(featurizer.vector(trace),
+                                   featurizer.vector(other))
+
+
+class TestFlatVectorModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_corpus):
+        return FlatVectorModel(n_estimators=40, seed=0).fit(
+            tiny_corpus[:110])
+
+    def test_regression_beats_constant(self, fitted, tiny_corpus):
+        held_out = [t for t in tiny_corpus[110:] if t.metrics.success]
+        labels = np.asarray([t.metrics.throughput for t in held_out])
+        predictions = fitted.predict_metric("throughput", held_out)
+        model_q50 = np.median(q_error(labels, predictions))
+        constant_q50 = np.median(q_error(labels,
+                                         np.full_like(labels,
+                                                      np.median(labels))))
+        assert model_q50 <= constant_q50 * 1.1
+
+    def test_classification_probabilities(self, fitted, tiny_corpus):
+        probs = fitted.predict_metric("backpressure", tiny_corpus[110:])
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_full_metrics(self, fitted, tiny_corpus):
+        predicted = fitted.predict(tiny_corpus[0])
+        assert predicted.throughput >= 0
+        assert isinstance(predicted.backpressure, bool)
+
+
+class TestOnlineMonitoring:
+    def test_monitoring_not_worse_than_static(self, tiny_corpus):
+        """Monitoring can't always rescue an infeasible workload, but it
+        must not end up (much) behind just leaving the bad placement
+        alone."""
+        from repro.simulator import FluidSimulation
+
+        trace = next((t for t in tiny_corpus if t.metrics.backpressure),
+                     tiny_corpus[0])
+        enumerator = HeuristicPlacementEnumerator(trace.cluster, seed=0)
+        initial = enumerator.default_placement(trace.plan)
+        scheduler = OnlineMonitoringScheduler(trace.cluster,
+                                              monitor_interval_s=10.0,
+                                              seed=0)
+        result = scheduler.run(trace.plan, initial, duration_s=120.0)
+        assert result.timeline
+
+        static = FluidSimulation(trace.plan, initial, trace.cluster,
+                                 seed=0)
+        static.run(120.0)
+        static_rate = static.recent_sink_rate()
+        monitored_rate = result.final_placement and \
+            _rate_of(trace, result.final_placement)
+        assert monitored_rate >= 0.5 * static_rate
+
+    def test_time_to_reach(self):
+        from repro.baselines.online_monitoring import MonitoringResult
+        from repro.hardware import Placement
+        result = MonitoringResult(
+            timeline=[(10.0, 500.0), (20.0, 100.0), (30.0, 50.0)],
+            migrations=[], final_placement=Placement({}),
+            initial_latency_ms=500.0, final_latency_ms=50.0)
+        assert result.time_to_reach(120.0) == 20.0
+        assert result.time_to_reach(10.0) is None
+
+    def test_healthy_placement_no_migrations(self, tiny_corpus):
+        trace = next(t for t in tiny_corpus
+                     if not t.metrics.backpressure and t.metrics.success)
+        scheduler = OnlineMonitoringScheduler(trace.cluster, seed=1)
+        result = scheduler.run(trace.plan, trace.placement,
+                               duration_s=60.0)
+        # A healthy placement keeps utilization below the threshold.
+        assert len(result.migrations) <= 2
+
+
+def _rate_of(trace, placement):
+    """Steady sink rate of one placement on a fresh fluid run."""
+    from repro.simulator import FluidSimulation
+
+    simulation = FluidSimulation(trace.plan, placement, trace.cluster,
+                                 seed=0)
+    simulation.run(120.0)
+    return simulation.recent_sink_rate()

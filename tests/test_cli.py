@@ -1,0 +1,33 @@
+"""Tests for the experiment CLI argument handling (no heavy runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import _EXPERIMENTS, main
+
+
+class TestArgumentParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure-of-doom"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--scale", "galactic"])
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "report" in out
+
+    def test_registry_titles_are_unique(self):
+        titles = [title for title, _ in _EXPERIMENTS.values()]
+        assert len(titles) == len(set(titles))
+
+    def test_registry_runners_are_callable(self):
+        for _, runner in _EXPERIMENTS.values():
+            assert callable(runner)

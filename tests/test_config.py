@@ -1,0 +1,51 @@
+"""Tests for the Table II feature-range configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (HardwareRanges, WorkloadRanges,
+                          default_hardware_ranges,
+                          default_workload_ranges)
+
+
+class TestHardwareRanges:
+    def test_paper_grids(self):
+        ranges = default_hardware_ranges()
+        assert ranges.cpu == (50, 100, 200, 300, 400, 500, 600, 700, 800)
+        assert ranges.ram_mb[0] == 1000 and ranges.ram_mb[-1] == 32000
+        assert ranges.latency_ms == (1, 2, 5, 10, 20, 40, 80, 160)
+
+    def test_restricted_copy(self):
+        ranges = default_hardware_ranges()
+        restricted = ranges.restricted(cpu=(50, 100))
+        assert restricted.cpu == (50, 100)
+        assert restricted.ram_mb == ranges.ram_mb
+        assert ranges.cpu != restricted.cpu  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            default_hardware_ranges().cpu = (1,)
+
+
+class TestWorkloadRanges:
+    def test_paper_grids(self):
+        ranges = default_workload_ranges()
+        assert max(ranges.event_rate_linear) == 25600
+        assert max(ranges.event_rate_two_way) == 2000
+        assert max(ranges.event_rate_three_way) == 1000
+        assert ranges.window_size_count == (5, 10, 20, 40, 80, 160, 320,
+                                            640)
+        assert ranges.window_size_time == (0.25, 0.5, 1, 2, 4, 8, 16)
+        assert set(ranges.filter_functions) == {
+            "<", ">", "<=", ">=", "!=", "startswith", "endswith"}
+
+    def test_template_weights_sum_to_one(self):
+        ranges = default_workload_ranges()
+        assert sum(ranges.template_weights) == pytest.approx(1.0)
+        assert sum(ranges.filter_count_weights) == pytest.approx(1.0)
+
+    def test_restricted_copy(self):
+        restricted = default_workload_ranges().restricted(
+            tuple_width=(3,))
+        assert restricted.tuple_width == (3,)

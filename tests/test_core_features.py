@@ -1,0 +1,91 @@
+"""Tests for transferable featurization (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_MODES, Featurizer
+from repro.hardware import HardwareNode
+from repro.query import DataType, Filter, QueryPlan, Sink, Source, \
+    TupleSchema
+
+
+class TestFeatureDims:
+    @pytest.mark.parametrize("mode", FEATURE_MODES)
+    def test_dims_are_consistent_with_vectors(self, mode, linear_plan,
+                                              agg_plan, join_plan):
+        featurizer = Featurizer(mode)
+        for plan in (linear_plan, agg_plan, join_plan):
+            for op_id in plan.topological_order():
+                vector = featurizer.operator_features(plan, op_id, {})
+                node_type = plan.operator(op_id).kind.value
+                assert vector.shape == (featurizer.feature_dim(node_type),)
+
+    def test_host_feature_dim_by_mode(self):
+        node = HardwareNode("h", 400, 8000, 1000, 5)
+        assert Featurizer("full").host_features(node).shape == (4,)
+        assert Featurizer("placement_only").host_features(node).shape == \
+            (1,)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Featurizer("everything")
+
+
+class TestTransferability:
+    def test_estimated_selectivity_overrides_truth(self, linear_plan):
+        featurizer = Featurizer()
+        with_estimate = featurizer.operator_features(
+            linear_plan, "filter1", {"filter1": 0.99})
+        with_truth = featurizer.operator_features(linear_plan, "filter1",
+                                                  {})
+        assert not np.allclose(with_estimate, with_truth)
+
+    def test_host_features_are_log_scaled(self):
+        featurizer = Featurizer("full")
+        weak = featurizer.host_features(HardwareNode("w", 50, 1000, 25,
+                                                     160))
+        strong = featurizer.host_features(
+            HardwareNode("s", 800, 32000, 10000, 1))
+        # log1p keeps even the extreme grid within a small numeric range.
+        assert np.all(np.abs(weak) < 15) and np.all(np.abs(strong) < 15)
+        assert strong[0] > weak[0]      # cpu
+        assert strong[3] < weak[3]      # latency
+
+    def test_source_rate_feature_is_logged(self):
+        featurizer = Featurizer()
+        schema = TupleSchema.of("int")
+        slow_plan = QueryPlan(
+            [Source("s", 100.0, schema), Sink("sink")], [("s", "sink")])
+        fast_plan = QueryPlan(
+            [Source("s", 25600.0, schema), Sink("sink")], [("s", "sink")])
+        slow = featurizer.operator_features(slow_plan, "s", {})
+        fast = featurizer.operator_features(fast_plan, "s", {})
+        assert fast[0] - slow[0] == pytest.approx(
+            np.log1p(25600) - np.log1p(100))
+
+    def test_unseen_category_encodes_as_zero(self, linear_plan):
+        # A filter function outside the training vocabulary must not
+        # crash featurization — it gets an all-zero one-hot block.
+        featurizer = Featurizer()
+        plan = QueryPlan(
+            [Source("s", 10.0, TupleSchema.of("double")),
+             Filter("f", "<", DataType.DOUBLE, 0.5), Sink("sink")],
+            [("s", "f"), ("f", "sink")])
+        vector = featurizer.operator_features(plan, "f", {})
+        object.__setattr__(plan.operator("f"), "function", "matches")
+        exotic = featurizer.operator_features(plan, "f", {})
+        assert exotic.shape == vector.shape
+        assert exotic[:7].sum() == 0.0
+
+    def test_no_hostnames_or_literals_in_features(self, linear_plan):
+        """Features must be transferable: nothing identifies a concrete
+        host or predicate constant."""
+        featurizer = Featurizer()
+        vector = featurizer.operator_features(linear_plan, "filter1", {})
+        # 7 one-hot (function) + 3 one-hot (type) + sel + 2 widths = 13.
+        assert vector.shape == (13,)
+        host = HardwareNode("very-specific-hostname", 100, 2000, 50, 10)
+        features = featurizer.host_features(host)
+        assert features.dtype == np.float64

@@ -1,0 +1,119 @@
+"""Tests for the joint operator-resource graph and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, build_graph, collate
+from repro.hardware import Placement
+
+
+class TestBuildGraph:
+    def test_full_graph_contains_hosts(self, join_plan, small_cluster,
+                                       full_placement):
+        placement = full_placement(join_plan)
+        graph = build_graph(join_plan, placement, small_cluster,
+                            Featurizer("full"))
+        n_hosts = len(placement.used_nodes())
+        assert graph.n_nodes == len(join_plan) + n_hosts
+        assert len(graph.placement_edges) == len(join_plan)
+        assert all(t in ("source", "filter", "aggregate", "join", "sink",
+                         "host") for t in graph.node_types)
+
+    def test_query_only_graph_has_no_hosts(self, join_plan, small_cluster,
+                                           full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("query_only"))
+        assert graph.n_nodes == len(join_plan)
+        assert graph.placement_edges == []
+        assert graph.host_index == {}
+
+    def test_flow_depths(self, join_plan, small_cluster, full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("full"))
+        depth = {op: graph.flow_depth[i]
+                 for op, i in graph.op_index.items()}
+        assert depth["src1"] == 0 and depth["src2"] == 0
+        assert depth["join1"] == 1
+        assert depth["sink"] == 2
+        # Hosts carry no flow depth.
+        for host_row in graph.host_index.values():
+            assert graph.flow_depth[host_row] == -1
+
+    def test_colocated_operators_share_host_node(self, linear_plan,
+                                                 small_cluster):
+        placement = Placement({"src1": "edge1", "filter1": "edge1",
+                               "sink": "edge1"})
+        graph = build_graph(linear_plan, placement, small_cluster,
+                            Featurizer("full"))
+        assert len(graph.host_index) == 1
+        host_row = graph.host_index["edge1"]
+        senders = [dst for _, dst in graph.placement_edges]
+        assert senders == [host_row] * 3
+
+
+class TestCollate:
+    def test_disjoint_union_offsets(self, linear_plan, join_plan,
+                                    small_cluster, full_placement):
+        featurizer = Featurizer("full")
+        g1 = build_graph(linear_plan, full_placement(linear_plan),
+                         small_cluster, featurizer)
+        g2 = build_graph(join_plan, full_placement(join_plan),
+                         small_cluster, featurizer)
+        batch = collate([g1, g2])
+        assert batch.n_graphs == 2
+        assert batch.n_nodes == g1.n_nodes + g2.n_nodes
+        np.testing.assert_array_equal(
+            batch.graph_id,
+            [0] * g1.n_nodes + [1] * g2.n_nodes)
+
+    def test_type_rows_partition_nodes(self, join_plan, small_cluster,
+                                       full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("full"))
+        batch = collate([graph, graph])
+        all_rows = np.concatenate(list(batch.type_rows.values()))
+        assert sorted(all_rows.tolist()) == list(range(batch.n_nodes))
+        for node_type, rows in batch.type_rows.items():
+            features = batch.type_features[node_type]
+            assert features.shape[0] == rows.size
+
+    def test_stage_slices_reference_valid_nodes(self, join_plan,
+                                                small_cluster,
+                                                full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("full"))
+        batch = collate([graph] * 3)
+        host_stage = batch.ops_to_hw["host"]
+        assert host_stage.edge_src.size == len(join_plan) * 3
+        assert host_stage.edge_seg.max() < host_stage.recv_rows.size
+        # Stage 2 receivers cover every operator node.
+        stage2_receivers = sum(s.recv_rows.size
+                               for s in batch.hw_to_ops.values())
+        assert stage2_receivers == len(join_plan) * 3
+
+    def test_flow_levels_follow_depth(self, join_plan, small_cluster,
+                                      full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("full"))
+        batch = collate([graph])
+        assert len(batch.flow_levels) == graph.max_depth
+        level1 = batch.flow_levels[0]
+        join_rows = batch.type_rows["join"]
+        assert set(level1["join"].recv_rows.tolist()) == \
+            set(join_rows.tolist())
+
+    def test_neighbor_rounds_cover_all_types(self, join_plan,
+                                             small_cluster,
+                                             full_placement):
+        graph = build_graph(join_plan, full_placement(join_plan),
+                            small_cluster, Featurizer("full"))
+        batch = collate([graph])
+        covered = sum(s.recv_rows.size
+                      for s in batch.neighbor_rounds.values())
+        assert covered == batch.n_nodes
+
+    def test_empty_collate_rejected(self):
+        with pytest.raises(ValueError):
+            collate([])

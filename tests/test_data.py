@@ -1,0 +1,91 @@
+"""Tests for trace collection and corpus serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (BenchmarkCollector, QueryTrace, load_corpus,
+                        save_corpus, trace_from_dict, trace_to_dict)
+from repro.query.benchmarks import spike_detection
+
+
+class TestCollector:
+    def test_traces_are_complete(self, tiny_corpus):
+        for trace in tiny_corpus[:20]:
+            trace.placement.validate(trace.plan, trace.cluster)
+            assert trace.metrics.e2e_latency_ms >= 0
+            assert trace.selectivities  # at least one selective operator
+
+    def test_selectivities_are_estimates(self, tiny_corpus):
+        exact_hits = 0
+        checked = 0
+        for trace in tiny_corpus[:40]:
+            for op_id, estimate in trace.selectivities.items():
+                truth = trace.plan.operator(op_id).selectivity
+                checked += 1
+                exact_hits += (estimate == truth)
+        assert checked > 0
+        assert exact_hits < checked  # sampling noise exists
+
+    def test_plan_factory_override(self):
+        collector = BenchmarkCollector(seed=3)
+        traces = collector.collect(5, plan_factory=spike_detection)
+        assert all(t.plan.name == "spike-detection" for t in traces)
+
+    def test_cluster_factory_override(self):
+        from repro.hardware import Cluster, HardwareNode
+
+        def factory(rng):
+            return Cluster([HardwareNode("only", 800, 32000, 10000, 1)])
+
+        collector = BenchmarkCollector(seed=4)
+        traces = collector.collect(3, cluster_factory=factory)
+        assert all(t.cluster.node_ids == ["only"] for t in traces)
+
+    def test_cluster_sizes_in_range(self):
+        collector = BenchmarkCollector(seed=5, cluster_size=(3, 5))
+        traces = collector.collect(10)
+        assert all(3 <= len(t.cluster) <= 5 for t in traces)
+
+    def test_deterministic_given_seed(self):
+        a = BenchmarkCollector(seed=77).collect(4)
+        b = BenchmarkCollector(seed=77).collect(4)
+        for ta, tb in zip(a, b):
+            assert ta.metrics == tb.metrics
+            assert dict(ta.placement.items()) == dict(tb.placement.items())
+
+
+class TestCorpusSerialization:
+    def test_dict_round_trip(self, tiny_corpus):
+        for trace in tiny_corpus[:25]:
+            restored = trace_from_dict(trace_to_dict(trace))
+            assert restored.metrics == trace.metrics
+            assert restored.plan.edges == trace.plan.edges
+            assert dict(restored.placement.items()) == \
+                dict(trace.placement.items())
+            assert restored.selectivities == trace.selectivities
+            for node_id in trace.cluster.node_ids:
+                assert restored.cluster.node(node_id).features() == \
+                    trace.cluster.node(node_id).features()
+
+    def test_file_round_trip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(tiny_corpus[:10], path)
+        restored = load_corpus(path)
+        assert len(restored) == 10
+        for original, loaded in zip(tiny_corpus[:10], restored):
+            assert loaded.metrics == original.metrics
+
+    def test_operator_details_survive(self, tiny_corpus):
+        for trace in tiny_corpus[:25]:
+            restored = trace_from_dict(trace_to_dict(trace))
+            for op_id, operator in trace.plan.operators.items():
+                assert restored.plan.operator(op_id) == operator
+
+    def test_blank_lines_skipped(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(tiny_corpus[:2], path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(load_corpus(path)) == 2

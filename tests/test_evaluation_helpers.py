@@ -1,0 +1,69 @@
+"""Tests for the shared experiment-evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlatVectorModel
+from repro.core import Costream, TrainingConfig
+from repro.experiments import evaluate_models
+from repro.experiments.evaluation import METRIC_LABELS
+
+
+@pytest.fixture(scope="module")
+def models(tiny_corpus):
+    config = TrainingConfig(hidden_dim=12, epochs=4)
+    costream = Costream(metrics=("throughput", "success"),
+                        ensemble_size=1, config=config, seed=0)
+    costream.fit(tiny_corpus[:100])
+    flat = FlatVectorModel(n_estimators=30, seed=0).fit(tiny_corpus[:100])
+    return costream, flat
+
+
+class TestEvaluateModels:
+    def test_both_models(self, models, tiny_corpus):
+        costream, flat = models
+        rows = evaluate_models(costream, flat, tiny_corpus[100:],
+                               metrics=("throughput", "success"))
+        assert len(rows) == 2
+        throughput = rows[0]
+        assert {"costream_q50", "costream_q95", "flat_q50",
+                "flat_q95"} <= set(throughput)
+        success = rows[1]
+        assert {"costream_acc", "flat_acc"} <= set(success)
+
+    def test_costream_only(self, models, tiny_corpus):
+        costream, _ = models
+        rows = evaluate_models(costream, None, tiny_corpus[100:],
+                               metrics=("throughput",))
+        assert "flat_q50" not in rows[0]
+        assert "costream_q50" in rows[0]
+
+    def test_flat_only(self, models, tiny_corpus):
+        _, flat = models
+        rows = evaluate_models(None, flat, tiny_corpus[100:],
+                               metrics=("throughput",))
+        assert "costream_q50" not in rows[0]
+        assert "flat_q50" in rows[0]
+
+    def test_unbalanced_classification(self, models, tiny_corpus):
+        costream, flat = models
+        balanced = evaluate_models(costream, flat, tiny_corpus[100:],
+                                   metrics=("success",), balance=True)
+        raw = evaluate_models(costream, flat, tiny_corpus[100:],
+                              metrics=("success",), balance=False)
+        assert np.isfinite(raw[0]["costream_acc"])
+        assert np.isfinite(balanced[0]["costream_acc"])
+
+    def test_metric_labels_cover_all(self):
+        from repro.simulator import METRIC_NAMES
+        assert set(METRIC_LABELS) == set(METRIC_NAMES)
+
+    def test_q_errors_at_least_one(self, models, tiny_corpus):
+        costream, flat = models
+        rows = evaluate_models(costream, flat, tiny_corpus[100:],
+                               metrics=("throughput",))
+        assert rows[0]["costream_q50"] >= 1.0
+        assert rows[0]["flat_q50"] >= 1.0
+        assert rows[0]["costream_q95"] >= rows[0]["costream_q50"]

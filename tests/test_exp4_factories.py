@@ -1,0 +1,65 @@
+"""Tests for the Exp 4 pinned-dimension cluster factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_hardware_ranges
+from repro.experiments.exp4_extrapolation import (EXTRAPOLATION_SETUPS,
+                                                  _pinned_cluster_factory)
+
+
+class TestPinnedClusterFactory:
+    def test_target_dimension_only_takes_eval_values(self):
+        ranges = default_hardware_ranges().restricted(cpu=(50, 100, 200))
+        factory = _pinned_cluster_factory(ranges, "cpu", (700.0, 800.0))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            cluster = factory(rng)
+            for node in cluster.nodes:
+                assert node.cpu in (700.0, 800.0)
+                assert node.ram_mb in ranges.ram_mb
+
+    def test_other_dimensions_stay_in_training_range(self):
+        ranges = default_hardware_ranges().restricted(
+            latency_ms=(5, 10, 20))
+        factory = _pinned_cluster_factory(ranges, "latency_ms",
+                                          (80.0, 160.0))
+        rng = np.random.default_rng(1)
+        cluster = factory(rng)
+        for node in cluster.nodes:
+            assert node.latency_ms in (80.0, 160.0)
+            assert node.cpu in ranges.cpu
+            assert node.bandwidth_mbits in ranges.bandwidth_mbits
+
+    def test_cluster_sizes_vary(self):
+        ranges = default_hardware_ranges()
+        factory = _pinned_cluster_factory(ranges, "cpu", (800.0,))
+        rng = np.random.default_rng(2)
+        sizes = {len(factory(rng)) for _ in range(20)}
+        assert len(sizes) > 1
+        assert all(3 <= s <= 8 for s in sizes)
+
+
+class TestSetups:
+    def test_latency_directions_are_inverted(self):
+        """'Stronger' means lower latency — the grids must reflect it."""
+        stronger = next(s for s in EXTRAPOLATION_SETUPS["stronger"]
+                        if s.dimension == "latency")
+        weaker = next(s for s in EXTRAPOLATION_SETUPS["weaker"]
+                      if s.dimension == "latency")
+        assert max(stronger.eval_values) < min(stronger.train_values)
+        assert min(weaker.eval_values) > max(weaker.train_values)
+
+    def test_stronger_dimensions_exceed_training(self):
+        for setup in EXTRAPOLATION_SETUPS["stronger"]:
+            if setup.dimension == "latency":
+                continue
+            assert min(setup.eval_values) > max(setup.train_values)
+
+    def test_weaker_dimensions_below_training(self):
+        for setup in EXTRAPOLATION_SETUPS["weaker"]:
+            if setup.dimension == "latency":
+                continue
+            assert max(setup.eval_values) < min(setup.train_values)

@@ -1,0 +1,119 @@
+"""Smoke tests of the experiment harness at tiny scale.
+
+These verify the *structure* of every experiment's output (the numbers
+themselves are validated by the benchmark harness at larger scales).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (EXTRAPOLATION_SETUPS, INTERPOLATION_RANGES,
+                               SCALES, ExperimentContext, format_table,
+                               get_scale)
+from repro.experiments.context import get_context
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context("tiny")
+
+
+class TestScale:
+    def test_presets_exist(self):
+        assert {"tiny", "small", "full"} <= set(SCALES)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale().name == "tiny"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert get_scale("tiny").name == "tiny"
+
+
+class TestContextCaching:
+    def test_corpus_cached(self, context):
+        assert context.corpus is context.corpus
+        train, val, test = context.corpus
+        assert len(train) > len(val)
+
+    def test_models_cached(self, context):
+        assert context.costream is context.costream
+        assert context.flat_vector is context.flat_vector
+
+    def test_get_context_is_singleton_per_scale(self):
+        assert get_context("tiny") is get_context("tiny")
+
+
+class TestExperimentOutputs:
+    def test_exp1_overall_rows(self, context):
+        from repro.experiments import run_overall
+        rows = run_overall(context)
+        metrics = {r["metric"] for r in rows}
+        assert "Throughput" in metrics and "Query success" in metrics
+        for row in rows:
+            if "costream_q50" in row:
+                assert row["costream_q50"] >= 1.0
+
+    def test_exp1_query_types(self, context):
+        from repro.experiments import run_query_types
+        rows = run_query_types(context)
+        assert all(row["n"] > 0 for row in rows)
+
+    def test_exp1_hardware_groups(self, context):
+        from repro.experiments import run_hardware_groups
+        rows = run_hardware_groups(context)
+        dimensions = {r["dimension"] for r in rows}
+        assert dimensions == {"cpu", "ram", "bandwidth", "latency"}
+
+    def test_exp3_interpolation_ranges_disjoint_from_training(self):
+        from repro.config import default_hardware_ranges
+        training = default_hardware_ranges()
+        assert not set(INTERPOLATION_RANGES.cpu) & set(training.cpu)
+        assert not set(INTERPOLATION_RANGES.ram_mb) & set(training.ram_mb)
+
+    def test_exp4_setups_are_out_of_range(self):
+        for direction, setups in EXTRAPOLATION_SETUPS.items():
+            for setup in setups:
+                assert not set(setup.eval_values) & set(setup.train_values)
+
+    def test_exp5_chain_traces(self, context):
+        from repro.experiments.exp5_patterns import collect_chain_traces
+        traces = collect_chain_traces(context, 3, 5)
+        assert all(t.plan.name == "3-filter-chain" for t in traces)
+
+    def test_exp2_monitoring_rows(self, context):
+        from repro.experiments import run_monitoring
+        rows = run_monitoring(context)
+        assert len(rows) == context.scale.monitoring_runs
+        for row in rows:
+            assert row["slowdown"] >= 1.0
+
+    def test_headline_structure(self, context):
+        from repro.experiments import run_headline
+        rows = run_headline(context)
+        assert len(rows) == 4
+        assert all(np.isfinite(r["costream_q50"]) for r in rows)
+
+
+class TestReporting:
+    def test_format_table_unions_columns(self):
+        rows = [{"a": 1.0, "b": 2.0}, {"a": 3.0, "c": "x"}]
+        table = format_table(rows, title="t")
+        assert "a" in table and "b" in table and "c" in table
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_values(self):
+        from repro.experiments.reporting import format_value
+        assert format_value(True) == "yes"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(float("nan")) == "-"
+        assert format_value(1.234) == "1.23"

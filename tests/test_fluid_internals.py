@@ -1,0 +1,86 @@
+"""Focused tests of fluid-simulator internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster, HardwareNode, Placement
+from repro.query import (DataType, QueryPlan, Sink, Source, TupleSchema,
+                         Window, WindowedAggregate)
+from repro.simulator import FluidSimulation, SimulationConfig
+from repro.simulator.fluid import _paths, _window_waits
+
+
+def _agg_plan(rate=100.0, policy="time", size=4.0, slide=2.0):
+    source = Source("src1", rate, TupleSchema.of("int", "double"))
+    agg = WindowedAggregate(
+        "agg1", Window.sliding(policy, size, slide), "mean",
+        DataType.DOUBLE, DataType.INT, 0.2)
+    return QueryPlan([source, agg, Sink("sink")],
+                     [("src1", "agg1"), ("agg1", "sink")])
+
+
+class TestWindowWaits:
+    def test_time_window_half_slide(self):
+        plan = _agg_plan(policy="time", size=4.0, slide=2.0)
+        waits = _window_waits(plan)
+        assert waits["agg1"] == pytest.approx(1.0)
+        assert waits["src1"] == 0.0
+        assert waits["sink"] == 0.0
+
+    def test_count_window_scales_with_rate(self):
+        fast = _window_waits(_agg_plan(rate=1000.0, policy="count",
+                                       size=100, slide=50))
+        slow = _window_waits(_agg_plan(rate=10.0, policy="count",
+                                       size=100, slide=50))
+        assert fast["agg1"] < slow["agg1"]
+
+
+class TestPaths:
+    def test_join_plan_has_two_paths(self, join_plan):
+        paths = _paths(join_plan)
+        assert len(paths) == 2
+        assert all(path[-1] == "sink" for path in paths)
+        starts = {path[0] for path in paths}
+        assert starts == {"src1", "src2"}
+
+    def test_linear_plan_single_path(self, linear_plan):
+        paths = _paths(linear_plan)
+        assert paths == [["src1", "filter1", "sink"]]
+
+
+class TestStepping:
+    def test_custom_step_size(self):
+        plan = _agg_plan()
+        cluster = Cluster([HardwareNode("n", 800, 16000, 1000, 5)])
+        placement = Placement({o: "n"
+                               for o in plan.topological_order()})
+        config = SimulationConfig(fluid_step_seconds=0.1)
+        simulation = FluidSimulation(plan, placement, cluster, config)
+        simulation.step()  # default dt from config
+        assert simulation.broker_queue["src1"] <= 100.0 * 0.1 + 1e-9
+
+    def test_time_does_not_advance_inside_step(self):
+        plan = _agg_plan()
+        cluster = Cluster([HardwareNode("n", 800, 16000, 1000, 5)])
+        placement = Placement({o: "n"
+                               for o in plan.topological_order()})
+        simulation = FluidSimulation(plan, placement, cluster)
+        before = simulation.time_s
+        simulation.step()
+        assert simulation.time_s == before  # run() owns the clock
+
+    def test_fluid_output_follows_logical_ratio(self):
+        """The fluid model is rate-based: output trickles at the
+        logical out/in ratio (window-fill delays are the analytical
+        simulator's concern)."""
+        plan = _agg_plan(rate=1.0, policy="count", size=640, slide=640)
+        cluster = Cluster([HardwareNode("n", 800, 16000, 1000, 5)])
+        placement = Placement({o: "n"
+                               for o in plan.topological_order()})
+        simulation = FluidSimulation(plan, placement, cluster)
+        simulation.run(60.0)
+        logical_ratio = plan.output_rate() / 1.0
+        assert simulation.metrics().throughput == \
+            pytest.approx(logical_ratio, rel=0.3)

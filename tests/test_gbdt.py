@@ -1,0 +1,140 @@
+"""Tests for the histogram-GBDT substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbdt import (FeatureBinner, GradientBoostingClassifier,
+                        GradientBoostingRegressor, RegressionTree)
+
+
+class TestFeatureBinner:
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FeatureBinner().transform(np.ones((2, 2)))
+
+    def test_bins_are_monotone_in_value(self, rng):
+        data = rng.normal(size=(500, 1))
+        binner = FeatureBinner(max_bins=16).fit(data)
+        codes = binner.transform(data)[:, 0]
+        order = np.argsort(data[:, 0])
+        assert np.all(np.diff(codes[order].astype(int)) >= 0)
+
+    def test_constant_feature_single_bin(self):
+        data = np.full((50, 1), 3.0)
+        binner = FeatureBinner(max_bins=8).fit(data)
+        codes = binner.transform(data)
+        assert len(np.unique(codes)) == 1
+
+    def test_bad_max_bins_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureBinner(max_bins=1)
+        with pytest.raises(ValueError):
+            FeatureBinner(max_bins=500)
+
+
+class TestRegressionTree:
+    def test_fits_a_step_function(self, rng):
+        x = rng.uniform(0, 1, size=(400, 1))
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        binner = FeatureBinner(max_bins=32).fit(x)
+        binned = binner.transform(x)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5)
+        # Squared loss: gradient = pred - y with pred = 0.
+        tree.fit(binned, -y, np.ones_like(y), binner.n_bins)
+        pred = -tree.predict(binned)  # leaf values approximate -(-y)
+        assert np.corrcoef(pred, y)[0, 1] < -0.95 or \
+            np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_depth_zero_returns_single_leaf(self, rng):
+        x = rng.normal(size=(50, 2))
+        binner = FeatureBinner().fit(x)
+        tree = RegressionTree(max_depth=0)
+        tree.fit(binner.transform(x), np.ones(50), np.ones(50),
+                 binner.n_bins)
+        assert tree.n_nodes == 1
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.normal(size=(30, 1))
+        y = rng.normal(size=30)
+        binner = FeatureBinner().fit(x)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=20)
+        tree.fit(binner.transform(x), y, np.ones(30), binner.n_bins)
+        assert tree.n_nodes == 1  # cannot split 30 rows into 2x20
+
+
+class TestGradientBoostingRegressor:
+    def test_learns_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(800, 3))
+        y = np.sin(x[:, 0] * 2) * 5 + x[:, 1] ** 2
+        model = GradientBoostingRegressor(n_estimators=80, max_depth=4)
+        model.fit(x, y)
+        pred = model.predict(x)
+        residual = np.mean((pred - y) ** 2)
+        baseline = np.var(y)
+        assert residual < 0.1 * baseline
+
+    def test_generalizes_to_held_out(self, rng):
+        x = rng.uniform(-2, 2, size=(1200, 2))
+        y = 3 * x[:, 0] - 2 * x[:, 1]
+        model = GradientBoostingRegressor(n_estimators=100)
+        model.fit(x[:800], y[:800])
+        pred = model.predict(x[800:])
+        assert np.corrcoef(pred, y[800:])[0, 1] > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.ones((2, 2)))
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+
+    def test_constant_target_recovered(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = np.full(100, 7.0)
+        model = GradientBoostingRegressor(n_estimators=5)
+        model.fit(x, y)
+        np.testing.assert_allclose(model.predict(x), 7.0, atol=1e-6)
+
+
+class TestGradientBoostingClassifier:
+    def test_learns_linear_boundary(self, rng):
+        x = rng.normal(size=(1000, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=60)
+        model.fit(x[:700], y[:700])
+        accuracy = np.mean(model.predict(x[700:]) == y[700:])
+        assert accuracy > 0.9
+
+    def test_probabilities_in_unit_interval(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=20)
+        model.fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+
+    def test_skewed_classes_do_not_crash(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = np.zeros(100)
+        y[:3] = 1.0
+        model = GradientBoostingClassifier(n_estimators=10)
+        model.fit(x, y)
+        assert model.predict_proba(x).mean() < 0.5
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(50, 150), st.integers(1, 3))
+def test_regressor_never_worse_than_mean_by_much(n, d):
+    rng = np.random.default_rng(n + d)
+    x = rng.normal(size=(n, d))
+    y = rng.normal(size=n)
+    model = GradientBoostingRegressor(n_estimators=10, max_depth=2)
+    model.fit(x, y)
+    mse_model = np.mean((model.predict(x) - y) ** 2)
+    mse_mean = np.mean((y - y.mean()) ** 2)
+    assert mse_model <= mse_mean * 1.05

@@ -1,0 +1,102 @@
+"""End-to-end integration tests over the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (BenchmarkCollector, Costream, DSPSSimulator,
+                   QueryGenerator, TrainingConfig, sample_cluster)
+from repro.baselines import FlatVectorModel
+from repro.core import GraphDataset, q_error
+from repro.placement import HeuristicPlacementEnumerator, PlacementOptimizer
+from repro.simulator import SelectivityEstimator
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_corpus):
+    """Corpus -> trained Costream + flat baseline."""
+    config = TrainingConfig(hidden_dim=24, epochs=45, patience=45)
+    model = Costream(
+        metrics=("throughput", "processing_latency", "success",
+                 "backpressure"),
+        ensemble_size=1, config=config, seed=1)
+    model.fit(tiny_corpus[:150], tiny_corpus[150:170])
+    flat = FlatVectorModel(n_estimators=50, seed=0).fit(tiny_corpus[:150])
+    return model, flat
+
+
+class TestEndToEnd:
+    def test_model_learns_signal(self, pipeline, tiny_corpus):
+        model, _ = pipeline
+        held_out = [t for t in tiny_corpus[170:] if t.metrics.success]
+        dataset = GraphDataset.from_traces(held_out, model.featurizer)
+        predictions = model.predict_metric("throughput", dataset.graphs)
+        labels = np.asarray([t.metrics.throughput for t in held_out])
+        model_q50 = float(np.median(q_error(labels, predictions)))
+        constant_q50 = float(np.median(
+            q_error(labels, np.full_like(labels, np.median(labels)))))
+        assert model_q50 < constant_q50
+
+    def test_prediction_of_fresh_query(self, pipeline):
+        model, _ = pipeline
+        rng = np.random.default_rng(31)
+        plan = QueryGenerator(seed=31).generate()
+        cluster = sample_cluster(rng, 5)
+        placement = HeuristicPlacementEnumerator(cluster,
+                                                 seed=1).sample(plan)
+        selectivities = SelectivityEstimator(seed=1).estimate(plan)
+        predicted = model.predict(plan, placement, cluster, selectivities)
+        assert np.isfinite(predicted.throughput)
+        assert np.isfinite(predicted.processing_latency_ms)
+
+    def test_optimizer_improves_over_worst_candidate(self, pipeline):
+        """The chosen placement should not be among the worst ones when
+        scored by the actual simulator."""
+        model, _ = pipeline
+        rng = np.random.default_rng(8)
+        simulator = DSPSSimulator()
+        generator = QueryGenerator(seed=8)
+        optimizer = PlacementOptimizer(model,
+                                       objective="processing_latency")
+
+        wins = 0
+        trials = 6
+        for trial in range(trials):
+            plan = generator.generate_linear(with_aggregation=True)
+            cluster = sample_cluster(rng, 6)
+            enumerator = HeuristicPlacementEnumerator(cluster, seed=trial)
+            candidates = enumerator.enumerate(plan, 10)
+            actual = [simulator.run(plan, c, cluster, seed=trial).
+                      processing_latency_ms for c in candidates]
+            decision = optimizer.optimize(plan, cluster, n_candidates=10,
+                                          enumerator=enumerator,
+                                          seed=trial)
+            chosen = simulator.run(plan, decision.placement, cluster,
+                                   seed=trial).processing_latency_ms
+            if chosen <= np.percentile(actual, 75):
+                wins += 1
+        assert wins >= trials // 2
+
+    def test_flat_vector_applies_to_same_traces(self, pipeline,
+                                                tiny_corpus):
+        _, flat = pipeline
+        predictions = flat.predict_metric("processing_latency",
+                                          tiny_corpus[170:])
+        assert predictions.shape == (len(tiny_corpus) - 170,)
+        assert np.all(np.isfinite(predictions))
+
+    def test_corpus_to_disk_to_model(self, tiny_corpus, tmp_path):
+        """Train from a corpus that went through serialization."""
+        from repro.data import load_corpus, save_corpus
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(tiny_corpus[:60], path)
+        reloaded = load_corpus(path)
+        config = TrainingConfig(hidden_dim=12, epochs=3)
+        model = Costream(metrics=("throughput",), ensemble_size=1,
+                         config=config, seed=0)
+        model.fit(reloaded)
+        trace = reloaded[0]
+        predicted = model.predict(trace.plan, trace.placement,
+                                  trace.cluster, trace.selectivities)
+        assert predicted.throughput >= 0

@@ -1,0 +1,213 @@
+"""Tests for the reverse-mode autodiff engine, including numeric
+gradient checks (also property-based via hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concat, gather, scatter_rows, segment_sum, stack
+
+
+def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn(value)
+        flat[i] = original - eps
+        low = fn(value)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+def check_gradient(make_output, value: np.ndarray, atol=1e-5):
+    tensor = Tensor(value.copy(), requires_grad=True)
+    output = make_output(tensor)
+    output.backward()
+    expected = numeric_gradient(
+        lambda v: make_output(Tensor(v.copy())).item(), value.copy())
+    np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)))
+        np.testing.assert_allclose(b.grad, np.full(2, 3.0))
+
+    def test_mul_gradients(self):
+        a = Tensor(np.asarray([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.asarray([5.0, 7.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_matmul_gradients(self, rng):
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (t @ Tensor(np.ones((3, 2)))).sum(), x)
+
+    def test_division(self):
+        a = Tensor(np.asarray([6.0]), requires_grad=True)
+        b = Tensor(np.asarray([3.0]), requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [1 / 3])
+        np.testing.assert_allclose(b.grad, [-6.0 / 9.0])
+
+    def test_pow(self):
+        a = Tensor(np.asarray([2.0]), requires_grad=True)
+        (a ** 3).backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_neg_and_sub(self):
+        a = Tensor(np.asarray([4.0]), requires_grad=True)
+        b = Tensor(np.asarray([1.0]), requires_grad=True)
+        (a - b).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor(np.asarray([2.0]), requires_grad=True)
+        out = 1.0 - a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        (1.0 / a).backward()
+        np.testing.assert_allclose(a.grad, [-0.25])
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()
+
+    def test_backward_without_grad_raises(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            a.backward()
+
+    def test_reused_node_accumulates(self):
+        a = Tensor(np.asarray([3.0]), requires_grad=True)
+        out = a * a  # d/da = 2a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["relu", "sigmoid", "tanh", "exp",
+                                      "leaky_relu", "abs"])
+    def test_gradcheck(self, name, rng):
+        x = rng.normal(size=(5,)) + 0.1  # avoid relu/abs kinks at 0
+        check_gradient(lambda t: getattr(t, name)().sum(), x)
+
+    def test_log_gradcheck(self, rng):
+        x = rng.uniform(0.5, 3.0, size=(5,))
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_log1p_gradcheck(self, rng):
+        x = rng.uniform(0.0, 3.0, size=(5,))
+        check_gradient(lambda t: t.log1p().sum(), x)
+
+    def test_clip_masks_gradient(self):
+        x = Tensor(np.asarray([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_is_stable_at_extremes(self):
+        x = Tensor(np.asarray([-1000.0, 1000.0]))
+        out = x.sigmoid().numpy()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), x)
+        check_gradient(
+            lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), x)
+
+    def test_mean_matches_sum(self, rng):
+        x = rng.normal(size=(6,))
+        t = Tensor(x, requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full(6, 1 / 6))
+
+    def test_reshape_transpose_squeeze(self, rng):
+        x = rng.normal(size=(2, 3))
+        check_gradient(lambda t: (t.reshape(3, 2) ** 2).sum(), x)
+        check_gradient(lambda t: (t.transpose() ** 2).sum(), x)
+        y = rng.normal(size=(4, 1))
+        check_gradient(lambda t: (t.squeeze(-1) ** 2).sum(), y)
+
+
+class TestStructuredOps:
+    def test_concat_backward(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_backward(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        (out * Tensor(np.asarray([[1.0, 2, 3], [4, 5, 6]]))).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 2, 3])
+        np.testing.assert_allclose(b.grad, [4, 5, 6])
+
+    def test_gather_repeats_scatter_adds(self):
+        x = Tensor(np.asarray([[1.0], [2.0], [3.0]]), requires_grad=True)
+        out = gather(x, np.asarray([0, 0, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[2.0], [0.0], [1.0]])
+
+    def test_segment_sum_forward_and_backward(self):
+        x = Tensor(np.asarray([[1.0], [2.0], [3.0], [4.0]]),
+                   requires_grad=True)
+        out = segment_sum(x, np.asarray([0, 1, 0, 1]), 2)
+        np.testing.assert_allclose(out.numpy(), [[4.0], [6.0]])
+        (out * Tensor(np.asarray([[10.0], [1.0]]))).sum().backward()
+        np.testing.assert_allclose(x.grad, [[10.0], [1.0], [10.0], [1.0]])
+
+    def test_segment_sum_empty_segment_stays_zero(self):
+        x = Tensor(np.ones((2, 2)))
+        out = segment_sum(x, np.asarray([0, 2]), 4)
+        np.testing.assert_allclose(out.numpy()[1], 0.0)
+        np.testing.assert_allclose(out.numpy()[3], 0.0)
+
+    def test_scatter_rows_replaces_and_routes_gradient(self):
+        base = Tensor(np.zeros((3, 2)), requires_grad=True)
+        values = Tensor(np.ones((2, 2)) * 5.0, requires_grad=True)
+        out = scatter_rows(base, np.asarray([0, 2]), values)
+        np.testing.assert_allclose(out.numpy(),
+                                   [[5, 5], [0, 0], [5, 5]])
+        out.sum().backward()
+        np.testing.assert_allclose(base.grad, [[0, 0], [1, 1], [0, 0]])
+        np.testing.assert_allclose(values.grad, np.ones((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-3, 3), min_size=2, max_size=8))
+def test_chained_expression_gradcheck(values):
+    x = np.asarray(values, dtype=np.float64) + 0.05
+    check_gradient(lambda t: ((t * 2.0 + 1.0).tanh() ** 2).mean(), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 4))
+def test_segment_sum_preserves_total(n_rows, n_segments):
+    rng = np.random.default_rng(n_rows * 7 + n_segments)
+    data = rng.normal(size=(n_rows, 3))
+    segments = rng.integers(0, n_segments, size=n_rows)
+    out = segment_sum(Tensor(data), segments, n_segments)
+    np.testing.assert_allclose(out.numpy().sum(axis=0), data.sum(axis=0),
+                               atol=1e-12)

@@ -1,0 +1,42 @@
+"""Tests for weight-initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestHeNormal:
+    def test_shape(self, rng):
+        weights = init.he_normal(rng, 64, 32)
+        assert weights.shape == (64, 32)
+
+    def test_variance_scales_with_fan_in(self, rng):
+        narrow = init.he_normal(rng, 4, 2048)
+        wide = init.he_normal(rng, 1024, 2048)
+        assert narrow.std() > wide.std()
+
+    def test_matches_theoretical_std(self, rng):
+        weights = init.he_normal(rng, 100, 5000)
+        assert abs(weights.std() - np.sqrt(2.0 / 100)) < 0.02
+
+
+class TestXavierUniform:
+    def test_bounds(self, rng):
+        weights = init.xavier_uniform(rng, 30, 50)
+        limit = np.sqrt(6.0 / 80)
+        assert weights.min() >= -limit
+        assert weights.max() <= limit
+
+    def test_zero_mean(self, rng):
+        weights = init.xavier_uniform(rng, 100, 100)
+        assert abs(weights.mean()) < 0.01
+
+
+class TestZeros:
+    def test_zeros(self):
+        z = init.zeros(3, 4)
+        assert z.shape == (3, 4)
+        assert not z.any()
+        assert z.dtype == np.float64

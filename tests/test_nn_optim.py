@@ -1,0 +1,87 @@
+"""Tests for SGD/Adam and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Tensor, clip_grad_norm
+
+
+def quadratic_step(optimizer_cls, steps=200, **kwargs):
+    """Minimize (x - 3)^2 and return the final x."""
+    x = Tensor(np.asarray([0.0]), requires_grad=True)
+    optimizer = optimizer_cls([x], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (x - 3.0) ** 2
+        loss.sum().backward()
+        optimizer.step()
+    return float(x.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(SGD, lr=0.1) == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_converges(self):
+        final = quadratic_step(SGD, lr=0.05, momentum=0.9)
+        assert final == pytest.approx(3.0, abs=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = quadratic_step(SGD, lr=0.1)
+        decayed = quadratic_step(SGD, lr=0.1, weight_decay=0.5)
+        assert decayed < plain
+
+    def test_skips_parameters_without_grad(self):
+        x = Tensor(np.asarray([1.0]), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        optimizer.step()  # no grad yet: must be a no-op
+        assert x.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(Adam, lr=0.1) == pytest.approx(3.0, abs=1e-2)
+
+    def test_converges_to_asymmetric_target(self):
+        x = Tensor(np.asarray([0.0, 0.0]), requires_grad=True)
+        target = Tensor(np.asarray([1.0, -2.0]))
+        optimizer = Adam([x], lr=0.05)
+        for _ in range(800):
+            optimizer.zero_grad()
+            ((x - target) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(x.data, [1.0, -2.0], atol=1e-2)
+
+    def test_lr_attribute_can_be_rescheduled(self):
+        x = Tensor(np.asarray([0.0]), requires_grad=True)
+        optimizer = Adam([x], lr=0.0)
+        optimizer.zero_grad()
+        ((x - 1.0) ** 2).sum().backward()
+        optimizer.step()
+        assert x.data[0] == 0.0  # lr 0 -> no movement
+        optimizer.lr = 0.1
+        optimizer.zero_grad()
+        ((x - 1.0) ** 2).sum().backward()
+        optimizer.step()
+        assert x.data[0] != 0.0
+
+
+class TestClipGradNorm:
+    def test_no_clipping_below_threshold(self):
+        x = Tensor(np.asarray([1.0]), requires_grad=True)
+        x.grad = np.asarray([0.5])
+        norm = clip_grad_norm([x], max_norm=10.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(x.grad, [0.5])
+
+    def test_clipping_rescales_to_max_norm(self):
+        x = Tensor(np.asarray([3.0, 4.0]), requires_grad=True)
+        x.grad = np.asarray([3.0, 4.0])
+        clip_grad_norm([x], max_norm=1.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_handles_missing_grads(self):
+        x = Tensor(np.asarray([1.0]), requires_grad=True)
+        assert clip_grad_norm([x], max_norm=1.0) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for placement enumeration rules and the optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Costream, TrainingConfig
+from repro.hardware import capability_bin
+from repro.placement import (HeuristicPlacementEnumerator,
+                             PlacementOptimizer)
+
+
+class TestEnumerationRules:
+    @pytest.fixture
+    def enumerator(self, small_cluster):
+        return HeuristicPlacementEnumerator(small_cluster, seed=0)
+
+    def test_candidates_are_valid(self, enumerator, join_plan,
+                                  small_cluster):
+        for placement in enumerator.enumerate(join_plan, 20):
+            placement.validate(join_plan, small_cluster)
+
+    def test_capability_bins_non_decreasing(self, enumerator, join_plan,
+                                            small_cluster):
+        bins = small_cluster.bins()
+        for placement in enumerator.enumerate(join_plan, 30):
+            for parent, child in join_plan.edges:
+                assert bins[placement.node_of(child)] >= \
+                    bins[placement.node_of(parent)]
+
+    def test_acyclic_rule(self, enumerator, small_cluster):
+        """Data that left a host never returns to it."""
+        from repro.query import QueryGenerator
+        generator = QueryGenerator(seed=3)
+        for _ in range(10):
+            plan = generator.generate_three_way()
+            for placement in enumerator.enumerate(plan, 10):
+                for path in _paths(plan):
+                    visited = []
+                    for op in path:
+                        node = placement.node_of(op)
+                        if visited and node != visited[-1]:
+                            assert node not in visited[:-1]
+                        visited.append(node)
+
+    def test_colocation_occurs(self, enumerator, join_plan):
+        placements = enumerator.enumerate(join_plan, 40)
+        colocated = any(
+            len(p.used_nodes()) < len(join_plan.topological_order())
+            for p in placements)
+        assert colocated
+
+    def test_enumerate_deduplicates(self, enumerator, linear_plan):
+        placements = enumerator.enumerate(linear_plan, 50)
+        keys = {tuple(sorted(p.items())) for p in placements}
+        assert len(keys) == len(placements)
+
+    def test_default_placement_deterministic(self, join_plan,
+                                             small_cluster):
+        a = HeuristicPlacementEnumerator(small_cluster,
+                                         seed=1).default_placement(join_plan)
+        b = HeuristicPlacementEnumerator(small_cluster,
+                                         seed=2).default_placement(join_plan)
+        assert dict(a.items()) == dict(b.items())
+
+    def test_default_placement_starts_weak(self, join_plan, small_cluster):
+        placement = HeuristicPlacementEnumerator(
+            small_cluster, seed=0).default_placement(join_plan)
+        bins = small_cluster.bins()
+        weakest = min(bins.values())
+        source_bins = [bins[placement.node_of(s)]
+                       for s in join_plan.sources]
+        assert min(source_bins) == weakest
+
+
+class TestPlacementOptimizer:
+    @pytest.fixture(scope="class")
+    def model(self, tiny_corpus):
+        config = TrainingConfig(hidden_dim=12, epochs=6, patience=6)
+        model = Costream(
+            metrics=("processing_latency", "success", "backpressure"),
+            ensemble_size=1, config=config, seed=1)
+        return model.fit(tiny_corpus[:110], tiny_corpus[110:130])
+
+    def test_optimize_returns_valid_placement(self, model, tiny_corpus):
+        trace = tiny_corpus[0]
+        optimizer = PlacementOptimizer(model)
+        decision = optimizer.optimize(trace.plan, trace.cluster,
+                                      n_candidates=10, seed=0)
+        decision.placement.validate(trace.plan, trace.cluster)
+        assert decision.candidates_evaluated >= 1
+        assert decision.objective == "processing_latency"
+
+    def test_objective_must_have_ensemble(self, model):
+        with pytest.raises(ValueError):
+            PlacementOptimizer(model, objective="e2e_latency")
+
+    def test_feasible_count_reported(self, model, tiny_corpus):
+        trace = tiny_corpus[1]
+        decision = PlacementOptimizer(model).optimize(
+            trace.plan, trace.cluster, n_candidates=12, seed=1)
+        assert 0 <= decision.feasible_candidates <= \
+            decision.candidates_evaluated
+        assert decision.fallback == (decision.feasible_candidates == 0)
+
+    def test_throughput_objective_maximizes(self, tiny_corpus):
+        config = TrainingConfig(hidden_dim=12, epochs=4)
+        model = Costream(metrics=("throughput",), ensemble_size=1,
+                         config=config, seed=2)
+        model.fit(tiny_corpus[:100])
+        trace = tiny_corpus[2]
+        optimizer = PlacementOptimizer(model, objective="throughput")
+        decision = optimizer.optimize(trace.plan, trace.cluster,
+                                      n_candidates=8, seed=2)
+        # The chosen candidate's prediction is the max over candidates.
+        from repro.placement import HeuristicPlacementEnumerator
+        enumerator = HeuristicPlacementEnumerator(trace.cluster, seed=2)
+        candidates = enumerator.enumerate(trace.plan, 8)
+        graphs = [model.build_graph(trace.plan, c, trace.cluster)
+                  for c in candidates]
+        predictions = model.predict_metric("throughput", graphs)
+        assert decision.predicted_objective == \
+            pytest.approx(predictions.max())
+
+
+def _paths(plan):
+    paths = []
+
+    def walk(op, trail):
+        trail = trail + [op]
+        children = plan.children(op)
+        if not children:
+            paths.append(trail)
+        for child in children:
+            walk(child, trail)
+
+    for source in plan.sources:
+        walk(source, [])
+    return paths

@@ -1,0 +1,78 @@
+"""Tests for the DSPBench-style benchmark queries (Exp 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_workload_ranges
+from repro.query.benchmarks import (BENCHMARK_QUERIES, advertisement,
+                                    smart_grid_global, smart_grid_local,
+                                    spike_detection)
+from repro.query.operators import OperatorKind
+
+
+@pytest.fixture
+def bench_rng():
+    return np.random.default_rng(17)
+
+
+class TestStructure:
+    def test_registry_complete(self):
+        assert set(BENCHMARK_QUERIES) == {
+            "advertisement", "spike-detection", "smart-grid-global",
+            "smart-grid-local"}
+
+    def test_all_queries_validate(self, bench_rng):
+        for factory in BENCHMARK_QUERIES.values():
+            plan = factory(bench_rng)
+            assert plan.output_rate() >= 0.0
+
+    def test_advertisement_shape(self, bench_rng):
+        plan = advertisement(bench_rng)
+        assert len(plan.sources) == 2
+        assert plan.count_of_kind(OperatorKind.FILTER) == 1
+        assert plan.count_of_kind(OperatorKind.JOIN) == 1
+
+    def test_spike_detection_is_two_filter_chain(self, bench_rng):
+        plan = spike_detection(bench_rng)
+        assert plan.count_of_kind(OperatorKind.FILTER) == 2
+        assert plan.count_of_kind(OperatorKind.JOIN) == 0
+
+    def test_smart_grid_global_has_no_group_by(self, bench_rng):
+        plan = smart_grid_global(bench_rng)
+        agg_id = plan.operators_of_kind(OperatorKind.AGGREGATE)[0]
+        assert plan.operator(agg_id).group_by_type is None
+
+    def test_smart_grid_local_groups_by_household(self, bench_rng):
+        plan = smart_grid_local(bench_rng)
+        agg_id = plan.operators_of_kind(OperatorKind.AGGREGATE)[0]
+        assert plan.operator(agg_id).group_by_type is not None
+
+
+class TestUnseenness:
+    def test_smart_grid_window_is_out_of_training_range(self, bench_rng):
+        ranges = default_workload_ranges()
+        for factory in (smart_grid_global, smart_grid_local):
+            plan = factory(bench_rng)
+            agg_id = plan.operators_of_kind(OperatorKind.AGGREGATE)[0]
+            window = plan.operator(agg_id).window
+            assert window.policy == "time"
+            assert window.size > max(ranges.window_size_time)
+
+    def test_selectivities_are_skewed(self):
+        rng = np.random.default_rng(3)
+        spikes = [spike_detection(rng) for _ in range(50)]
+        first_filter_sels = []
+        for plan in spikes:
+            filter_id = plan.operators_of_kind(OperatorKind.FILTER)[0]
+            first_filter_sels.append(plan.operator(filter_id).selectivity)
+        # Beta(1.5, 12) — strongly skewed towards rare spikes, unlike
+        # the training generator's uniform(0.05, 1).
+        assert np.median(first_filter_sels) < 0.2
+
+    def test_random_rates_vary(self):
+        rng = np.random.default_rng(4)
+        rates = {advertisement(rng).operator("impressions").event_rate
+                 for _ in range(10)}
+        assert len(rates) == 10

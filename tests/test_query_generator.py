@@ -1,0 +1,155 @@
+"""Tests for the workload generator (Table II ranges and corpus mix)."""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.config import default_workload_ranges
+from repro.query import QueryGenerator
+from repro.query.operators import OperatorKind
+
+
+@pytest.fixture
+def generator():
+    return QueryGenerator(seed=7)
+
+
+class TestTemplates:
+    def test_linear_shape(self, generator):
+        plan = generator.generate_linear(n_filters=2,
+                                         with_aggregation=False)
+        assert len(plan.sources) == 1
+        assert plan.count_of_kind(OperatorKind.FILTER) == 2
+        assert plan.count_of_kind(OperatorKind.JOIN) == 0
+
+    def test_linear_with_aggregation(self, generator):
+        plan = generator.generate_linear(n_filters=1, with_aggregation=True)
+        assert plan.count_of_kind(OperatorKind.AGGREGATE) == 1
+        assert plan.name.endswith("+agg")
+
+    def test_two_way_shape(self, generator):
+        plan = generator.generate_two_way(with_aggregation=False)
+        assert len(plan.sources) == 2
+        assert plan.count_of_kind(OperatorKind.JOIN) == 1
+
+    def test_three_way_shape(self, generator):
+        plan = generator.generate_three_way(with_aggregation=True)
+        assert len(plan.sources) == 3
+        assert plan.count_of_kind(OperatorKind.JOIN) == 2
+        # Joins after an aggregation was forced must group by something.
+        agg_id = plan.operators_of_kind(OperatorKind.AGGREGATE)[0]
+        assert plan.operator(agg_id).group_by_type is not None
+
+    def test_filter_chain(self, generator):
+        plan = generator.generate_filter_chain(4)
+        assert plan.count_of_kind(OperatorKind.FILTER) == 4
+        assert plan.count_of_kind(OperatorKind.AGGREGATE) == 0
+        assert plan.name == "4-filter-chain"
+
+
+class TestDistributions:
+    def test_template_mix_close_to_paper(self):
+        generator = QueryGenerator(seed=1)
+        counts = collections.Counter()
+        for _ in range(600):
+            plan = generator.generate()
+            counts[len(plan.sources)] += 1
+        # 35/34/31 split (±10 percentage points at n=600).
+        for n_sources, expected in ((1, 0.35), (2, 0.34), (3, 0.31)):
+            assert abs(counts[n_sources] / 600 - expected) < 0.10
+
+    def test_aggregation_in_about_half(self):
+        generator = QueryGenerator(seed=2)
+        with_agg = sum(
+            1 for _ in range(400)
+            if generator.generate().count_of_kind(OperatorKind.AGGREGATE))
+        assert 0.35 < with_agg / 400 < 0.65
+
+    def test_event_rates_from_grid(self):
+        ranges = default_workload_ranges()
+        generator = QueryGenerator(seed=3)
+        for _ in range(50):
+            plan = generator.generate_linear()
+            rate = plan.operator(plan.sources[0]).event_rate
+            assert rate in ranges.event_rate_linear
+
+    def test_tuple_widths_in_range(self):
+        generator = QueryGenerator(seed=4)
+        for _ in range(50):
+            plan = generator.generate()
+            for source_id in plan.sources:
+                width = plan.operator(source_id).schema.width
+                assert 3 <= width <= 10
+
+    def test_window_sizes_from_grid(self):
+        ranges = default_workload_ranges()
+        generator = QueryGenerator(seed=5)
+        windows = []
+        for _ in range(120):
+            plan = generator.generate_two_way()
+            for op_id in plan.operators_of_kind(OperatorKind.JOIN):
+                windows.append(plan.operator(op_id).window)
+        for window in windows:
+            if window.policy == "count":
+                assert window.size in ranges.window_size_count
+            else:
+                assert window.size in ranges.window_size_time
+            if window.window_type == "tumbling":
+                assert window.slide == window.size
+            else:
+                assert window.slide <= window.size
+
+    def test_join_selectivity_log_uniform_range(self):
+        ranges = default_workload_ranges()
+        generator = QueryGenerator(seed=6)
+        sels = []
+        for _ in range(80):
+            plan = generator.generate_two_way()
+            for op_id in plan.operators_of_kind(OperatorKind.JOIN):
+                sels.append(plan.operator(op_id).selectivity)
+        low, high = ranges.join_selectivity
+        assert all(low <= s <= high for s in sels)
+        # Log-uniform: substantial mass below the arithmetic midpoint.
+        assert np.median(sels) < (low + high) / 2
+
+    def test_determinism_per_seed(self):
+        a = QueryGenerator(seed=11).generate_many(5)
+        b = QueryGenerator(seed=11).generate_many(5)
+        for plan_a, plan_b in zip(a, b):
+            assert plan_a.edges == plan_b.edges
+            assert plan_a.name == plan_b.name
+
+    def test_no_consecutive_filters_in_training_corpus(self):
+        """Section VII-E: training only ever sees one consecutive
+        filter; longer chains are the Exp 5 unseen patterns."""
+        generator = QueryGenerator(seed=10)
+        for _ in range(250):
+            plan = generator.generate()
+            for op_id in plan.topological_order():
+                if plan.operator(op_id).kind is not OperatorKind.FILTER:
+                    continue
+                for child in plan.children(op_id):
+                    assert plan.operator(child).kind is not \
+                        OperatorKind.FILTER
+
+    def test_default_linear_has_one_filter(self):
+        generator = QueryGenerator(seed=12)
+        for _ in range(20):
+            plan = generator.generate_linear()
+            assert plan.count_of_kind(OperatorKind.FILTER) == 1
+
+    def test_all_generated_plans_validate(self):
+        generator = QueryGenerator(seed=8)
+        for _ in range(200):
+            plan = generator.generate()  # constructor validates
+            assert plan.output_rate() >= 0.0
+
+    def test_restricted_ranges_respected(self):
+        ranges = default_workload_ranges().restricted(
+            event_rate_linear=(500.0,))
+        generator = QueryGenerator(ranges, seed=9)
+        plan = generator.generate_linear()
+        assert plan.operator(plan.sources[0]).event_rate == 500.0

@@ -1,0 +1,79 @@
+"""Tests for sample-based selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import DataType, Filter, Window, WindowedAggregate, \
+    WindowedJoin
+from repro.simulator import ExactSelectivities, SelectivityEstimator
+
+
+class TestExactOracle:
+    def test_returns_truth(self, linear_plan):
+        estimates = ExactSelectivities().estimate(linear_plan)
+        assert estimates["filter1"] == \
+            linear_plan.operator("filter1").selectivity
+
+
+class TestSampleEstimator:
+    def test_sample_size_validated(self):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(sample_size=5)
+
+    def test_numeric_range_estimate_close(self):
+        estimator = SelectivityEstimator(sample_size=4000, seed=0)
+        predicate = Filter("f", "<", DataType.DOUBLE, 0.3)
+        estimate = estimator.estimate_filter(predicate)
+        assert estimate == pytest.approx(0.3, abs=0.05)
+
+    def test_int_range_estimate_close(self):
+        estimator = SelectivityEstimator(sample_size=4000, seed=1)
+        predicate = Filter("f", ">=", DataType.INT, 0.7)
+        estimate = estimator.estimate_filter(predicate)
+        assert estimate == pytest.approx(0.7, abs=0.05)
+
+    def test_string_predicate_uses_frequency(self):
+        estimator = SelectivityEstimator(sample_size=2000, seed=2)
+        predicate = Filter("f", "startswith", DataType.STRING, 0.2)
+        estimate = estimator.estimate_filter(predicate)
+        assert estimate == pytest.approx(0.2, abs=0.06)
+
+    def test_join_estimate_bounded_relative_error(self):
+        estimator = SelectivityEstimator(sample_size=2000, seed=3)
+        join = WindowedJoin("j", Window.tumbling("count", 10),
+                            DataType.INT, 0.01)
+        estimate = estimator.estimate_join(join)
+        assert 0.003 < estimate < 0.03
+
+    def test_estimates_never_exactly_zero(self):
+        estimator = SelectivityEstimator(sample_size=100, seed=4)
+        join = WindowedJoin("j", Window.tumbling("count", 10),
+                            DataType.INT, 1e-6)
+        assert estimator.estimate_join(join) >= 1e-5
+
+    def test_plan_estimation_covers_selective_operators(self, join_plan):
+        estimator = SelectivityEstimator(seed=5)
+        estimates = estimator.estimate(join_plan)
+        assert set(estimates) == {"join1"}
+
+    def test_estimates_differ_from_truth(self, linear_plan):
+        # The whole point: the model sees noisy estimates.
+        estimator = SelectivityEstimator(sample_size=200, seed=6)
+        estimates = [estimator.estimate(linear_plan)["filter1"]
+                     for _ in range(20)]
+        assert len(set(estimates)) > 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.05, 0.95))
+def test_estimates_are_unbiased_enough(true_selectivity):
+    estimator = SelectivityEstimator(sample_size=2000,
+                                     seed=int(true_selectivity * 1e6))
+    predicate = Filter("f", "<", DataType.DOUBLE, true_selectivity)
+    errors = [estimator.estimate_filter(predicate) - true_selectivity
+              for _ in range(10)]
+    assert abs(float(np.mean(errors))) < 0.08

@@ -1,0 +1,100 @@
+"""Tests for the per-operator CPU-cost and state models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (DataType, Filter, Sink, Source, TupleSchema,
+                         Window, WindowedAggregate, WindowedJoin)
+from repro.query.plan import QueryPlan, StreamAnnotation
+from repro.simulator.costs import (held_tuples_per_side, operator_load,
+                                   operator_state_bytes)
+
+
+def _annotation(in_rate=100.0, out_rate=100.0, width=3):
+    schema = TupleSchema.of(*(["int"] * width))
+    return StreamAnnotation(in_rate, out_rate, schema, schema)
+
+
+class TestOperatorLoad:
+    def test_load_scales_with_rate(self):
+        source = Source("s", 100.0, TupleSchema.of("int", "int"))
+        low = operator_load(source, [], _annotation(100, 100, 2))
+        high = operator_load(source, [], _annotation(1000, 1000, 2))
+        assert high == pytest.approx(10 * low)
+
+    def test_string_filters_cost_more_than_int(self):
+        ann = _annotation()
+        int_filter = Filter("f", "<", DataType.INT, 0.5)
+        string_filter = Filter("f", "startswith", DataType.STRING, 0.5)
+        assert operator_load(string_filter, [ann], ann) > \
+            operator_load(int_filter, [ann], ann)
+
+    def test_sliding_aggregate_costs_more_than_tumbling(self):
+        ann = _annotation()
+        sliding = WindowedAggregate(
+            "a", Window.sliding("count", 10, 5), "sum", DataType.DOUBLE,
+            DataType.INT, 0.2)
+        tumbling = WindowedAggregate(
+            "a", Window.tumbling("count", 10), "sum", DataType.DOUBLE,
+            DataType.INT, 0.2)
+        assert operator_load(sliding, [ann], ann) > \
+            operator_load(tumbling, [ann], ann)
+
+    def test_join_probe_cost_grows_with_window(self):
+        def load(size):
+            window = Window.tumbling("count", size)
+            join = WindowedJoin("j", window, DataType.INT, 0.01)
+            inputs = [_annotation(100, 100), _annotation(100, 100)]
+            return operator_load(join, inputs, _annotation(200, 50))
+        assert load(640) > load(5)
+
+    def test_string_join_keys_cost_more(self):
+        window = Window.tumbling("count", 50)
+        inputs = [_annotation(), _annotation()]
+        out = _annotation(200, 20)
+        int_join = WindowedJoin("j", window, DataType.INT, 0.01)
+        str_join = WindowedJoin("j", window, DataType.STRING, 0.01)
+        assert operator_load(str_join, inputs, out) > \
+            operator_load(int_join, inputs, out)
+
+    def test_sink_load_positive(self):
+        assert operator_load(Sink("sink"), [_annotation()],
+                             _annotation()) > 0
+
+
+class TestStateBytes:
+    def test_stateless_operators_have_no_state(self):
+        ann = _annotation()
+        assert operator_state_bytes(
+            Filter("f", "<", DataType.INT, 0.5), [ann], ann) == 0.0
+        assert operator_state_bytes(Sink("s"), [ann], ann) == 0.0
+
+    def test_aggregate_state_grows_with_window(self):
+        def state(size):
+            agg = WindowedAggregate(
+                "a", Window.tumbling("count", size), "sum",
+                DataType.DOUBLE, DataType.INT, 0.2)
+            ann = _annotation()
+            return operator_state_bytes(agg, [ann], ann)
+        assert state(640) > state(5)
+
+    def test_time_window_state_grows_with_rate(self):
+        agg = WindowedAggregate(
+            "a", Window.tumbling("time", 4.0), "sum", DataType.DOUBLE,
+            DataType.INT, 0.2)
+        slow = operator_state_bytes(agg, [_annotation(10, 10)],
+                                    _annotation(10, 10))
+        fast = operator_state_bytes(agg, [_annotation(1000, 1000)],
+                                    _annotation(1000, 1000))
+        assert fast > slow
+
+    def test_join_holds_both_windows(self):
+        join = WindowedJoin("j", Window.tumbling("count", 100),
+                            DataType.INT, 0.01)
+        inputs = [_annotation(100, 100, width=2),
+                  _annotation(100, 100, width=8)]
+        held = held_tuples_per_side(join, inputs)
+        assert held == (100.0, 100.0)
+        state = operator_state_bytes(join, inputs, _annotation(200, 10))
+        assert state > 0

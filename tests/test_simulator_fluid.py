@@ -1,0 +1,126 @@
+"""Tests for the time-stepped (fluid) execution simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster, HardwareNode, Placement
+from repro.query import (DataType, Filter, QueryPlan, Sink, Source,
+                         TupleSchema)
+from repro.simulator import FluidSimulation, SimulationConfig
+
+
+def _node(node_id, cpu=400, ram=16000, bw=1000, lat=5):
+    return HardwareNode(node_id, cpu=cpu, ram_mb=ram, bandwidth_mbits=bw,
+                        latency_ms=lat)
+
+
+def _plan(rate=500.0, selectivity=0.5):
+    source = Source("src1", rate, TupleSchema.of("int", "double"))
+    predicate = Filter("f1", "<", DataType.DOUBLE, selectivity)
+    return QueryPlan([source, predicate, Sink("sink")],
+                     [("src1", "f1"), ("f1", "sink")])
+
+
+def _placement(plan, node_id):
+    return Placement({op: node_id for op in plan.topological_order()})
+
+
+class TestSteadyState:
+    def test_healthy_query_reaches_logical_throughput(self):
+        plan = _plan(rate=500.0, selectivity=0.5)
+        cluster = Cluster([_node("big", cpu=800)])
+        simulation = FluidSimulation(plan, _placement(plan, "big"),
+                                     cluster, seed=0)
+        simulation.run(60.0)
+        metrics = simulation.metrics()
+        assert metrics.success
+        assert metrics.throughput == pytest.approx(250.0, rel=0.25)
+
+    def test_matches_analytical_backpressure_verdict(self, tiny_corpus):
+        from repro.simulator import AnalyticalSimulator
+        agree = 0
+        sample = [t for t in tiny_corpus[:24]]
+        for trace in sample:
+            simulation = FluidSimulation(trace.plan, trace.placement,
+                                         trace.cluster, seed=5)
+            simulation.run(60.0)
+            fluid_bp = simulation.metrics().backpressure
+            agree += (fluid_bp == trace.metrics.backpressure)
+        # The two simulators should broadly agree on saturation.
+        assert agree / len(sample) >= 0.7
+
+    def test_overloaded_broker_grows(self):
+        plan = _plan(rate=25600.0, selectivity=1.0)
+        cluster = Cluster([_node("tiny", cpu=50)])
+        simulation = FluidSimulation(plan, _placement(plan, "tiny"),
+                                     cluster, seed=0)
+        simulation.run(30.0)
+        assert sum(simulation.broker_queue.values()) > 1000
+        assert simulation.metrics().backpressure
+
+    def test_tuple_conservation(self):
+        plan = _plan(rate=100.0, selectivity=1.0)
+        cluster = Cluster([_node("n", cpu=800)])
+        simulation = FluidSimulation(plan, _placement(plan, "n"), cluster,
+                                     seed=0)
+        simulation.run(30.0)
+        generated = 100.0 * simulation.time_s
+        delivered = simulation.sink_arrivals
+        queued = sum(simulation.broker_queue.values()) \
+            + sum(s.queue for o, s in simulation.ops.items()
+                  if o not in plan.sources)
+        assert delivered <= generated + 1e-6
+        assert delivered + queued == pytest.approx(generated, rel=0.05)
+
+
+class TestMonitoringHooks:
+    def test_stats_exposes_utilization(self):
+        plan = _plan()
+        cluster = Cluster([_node("n")])
+        simulation = FluidSimulation(plan, _placement(plan, "n"), cluster)
+        simulation.run(10.0)
+        stats = simulation.stats()
+        assert "n" in stats.node_utilization
+        assert stats.processing_latency_ms >= 0.0
+
+    def test_migration_moves_operator_and_pauses(self):
+        plan = _plan(rate=2000.0, selectivity=1.0)
+        cluster = Cluster([_node("weak", cpu=50), _node("strong", cpu=800)])
+        simulation = FluidSimulation(plan, _placement(plan, "weak"),
+                                     cluster, seed=0)
+        simulation.run(20.0)
+        simulation.migrate("f1", "strong", pause_s=2.0)
+        assert simulation.placement.node_of("f1") == "strong"
+        assert simulation.ops["f1"].frozen_until > simulation.time_s
+
+    def test_migration_to_same_node_is_noop(self):
+        plan = _plan()
+        cluster = Cluster([_node("n")])
+        simulation = FluidSimulation(plan, _placement(plan, "n"), cluster)
+        simulation.migrate("f1", "n")
+        assert simulation.ops["f1"].frozen_until == 0.0
+
+    def test_migration_relieves_bottleneck(self):
+        plan = _plan(rate=4000.0, selectivity=1.0)
+        cluster = Cluster([_node("weak", cpu=50), _node("strong", cpu=800)])
+        stuck = FluidSimulation(plan, _placement(plan, "weak"), cluster,
+                                seed=0)
+        stuck.run(120.0)
+        moved = FluidSimulation(plan, _placement(plan, "weak"), cluster,
+                                seed=0)
+        moved.run(30.0)
+        for op in ("f1", "sink"):
+            moved.migrate(op, "strong", pause_s=1.0)
+        moved.run(120.0)
+        assert moved.recent_sink_rate() > stuck.recent_sink_rate()
+
+    def test_timeline_recording(self):
+        plan = _plan()
+        cluster = Cluster([_node("n")])
+        simulation = FluidSimulation(plan, _placement(plan, "n"), cluster)
+        timeline = simulation.run(20.0, record_every_s=5.0)
+        assert len(timeline) >= 3
+        times = [s.time_s for s in timeline]
+        assert times == sorted(times)

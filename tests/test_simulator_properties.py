@@ -1,0 +1,84 @@
+"""Property-based tests of simulator invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Cluster, HardwareNode, Placement
+from repro.query import (DataType, Filter, QueryPlan, Sink, Source,
+                         TupleSchema)
+from repro.simulator import AnalyticalSimulator
+
+_simulator = AnalyticalSimulator()
+
+
+def _linear(rate, selectivity, width=3):
+    source = Source("src1", rate,
+                    TupleSchema.of(*(["double"] * width)))
+    predicate = Filter("f1", "<", DataType.DOUBLE, selectivity)
+    return QueryPlan([source, predicate, Sink("sink")],
+                     [("src1", "f1"), ("f1", "sink")])
+
+
+def _single_node_cluster(cpu, ram=16000, bw=1000, lat=5):
+    return Cluster([HardwareNode("n", cpu=cpu, ram_mb=ram,
+                                 bandwidth_mbits=bw, latency_ms=lat)])
+
+
+def _run(rate, selectivity, cpu, seed=0):
+    plan = _linear(rate, selectivity)
+    cluster = _single_node_cluster(cpu)
+    placement = Placement({o: "n" for o in plan.topological_order()})
+    return _simulator.run(plan, placement, cluster, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([100.0, 800.0, 6400.0, 25600.0]),
+       st.floats(0.05, 1.0), st.sampled_from([50.0, 200.0, 800.0]))
+def test_labels_are_finite_and_consistent(rate, selectivity, cpu):
+    metrics = _run(rate, selectivity, cpu)
+    assert np.isfinite(metrics.throughput)
+    assert np.isfinite(metrics.processing_latency_ms)
+    assert np.isfinite(metrics.e2e_latency_ms)
+    assert metrics.throughput >= 0.0
+    assert metrics.processing_latency_ms >= 0.0
+    if metrics.success:
+        assert metrics.throughput > 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from([400.0, 3200.0, 25600.0]),
+       st.floats(0.1, 1.0))
+def test_throughput_never_exceeds_logical_rate(rate, selectivity):
+    metrics = _run(rate, selectivity, cpu=800.0)
+    logical = rate * selectivity
+    # Allow the multiplicative label-noise envelope.
+    assert metrics.throughput <= logical * 1.5
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(0.1, 0.9), st.sampled_from([100.0, 1600.0]))
+def test_selectivity_monotone_in_throughput(selectivity, rate):
+    low = _run(rate, selectivity * 0.5, cpu=800.0, seed=7)
+    high = _run(rate, selectivity, cpu=800.0, seed=7)
+    if low.success and high.success:
+        assert high.throughput >= low.throughput * 0.7
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from([50.0, 100.0, 400.0, 800.0]))
+def test_backpressure_iff_overutilized(cpu):
+    plan = _linear(25600.0, 1.0)
+    cluster = _single_node_cluster(cpu)
+    placement = Placement({o: "n" for o in plan.topological_order()})
+    snapshot = _simulator.snapshot(plan, placement, cluster, 1.0)
+    metrics = _simulator.run(plan, placement, cluster, seed=0)
+    # Without per-run efficiency jitter exactly at the boundary, the
+    # verdicts must agree except very close to utilization 1.
+    if snapshot.max_utilization > 1.1:
+        assert metrics.backpressure
+    if snapshot.max_utilization < 0.9:
+        assert not metrics.backpressure

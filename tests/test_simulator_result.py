@@ -1,0 +1,56 @@
+"""Tests for result types and the simulator facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import (CLASSIFICATION_METRICS, DSPSSimulator,
+                             METRIC_NAMES, QueryMetrics,
+                             REGRESSION_METRICS)
+
+
+class TestQueryMetrics:
+    @pytest.fixture
+    def metrics(self):
+        return QueryMetrics(throughput=120.0, e2e_latency_ms=500.0,
+                            processing_latency_ms=220.0,
+                            backpressure=True, success=True)
+
+    def test_metric_name_partition(self):
+        assert set(REGRESSION_METRICS) | set(CLASSIFICATION_METRICS) == \
+            set(METRIC_NAMES)
+        assert not set(REGRESSION_METRICS) & set(CLASSIFICATION_METRICS)
+
+    def test_value_accessor(self, metrics):
+        assert metrics.value("throughput") == 120.0
+        assert metrics.value("e2e_latency") == 500.0
+        assert metrics.value("processing_latency") == 220.0
+        assert metrics.value("backpressure") == 1.0
+        assert metrics.value("success") == 1.0
+
+    def test_unknown_metric_rejected(self, metrics):
+        with pytest.raises(KeyError):
+            metrics.value("latency_of_regret")
+
+    def test_dict_round_trip(self, metrics):
+        assert QueryMetrics.from_dict(metrics.as_dict()) == metrics
+
+
+class TestFacade:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DSPSSimulator(backend="quantum")
+
+    def test_backends_agree_on_easy_case(self, linear_plan,
+                                         small_cluster):
+        from repro.hardware import Placement
+        placement = Placement({o: "cloud1"
+                               for o in linear_plan.topological_order()})
+        analytical = DSPSSimulator(backend="analytical").run(
+            linear_plan, placement, small_cluster, seed=0)
+        fluid = DSPSSimulator(backend="fluid").run(
+            linear_plan, placement, small_cluster, seed=0)
+        assert analytical.success == fluid.success
+        assert analytical.backpressure == fluid.backpressure
+        assert fluid.throughput == pytest.approx(analytical.throughput,
+                                                 rel=0.35)

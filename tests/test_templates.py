@@ -1,0 +1,88 @@
+"""Tests for query-template assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (DataType, Filter, Sink, Source, TupleSchema,
+                         Window, WindowedAggregate, WindowedJoin)
+from repro.query.templates import (LinearTemplate, ThreeWayJoinTemplate,
+                                   TwoWayJoinTemplate, chain)
+
+
+def _source(op_id, rate=100.0):
+    return Source(op_id, rate, TupleSchema.of("int", "double"))
+
+
+def _filter(op_id, selectivity=0.5):
+    return Filter(op_id, "<", DataType.DOUBLE, selectivity)
+
+
+def _join(op_id):
+    return WindowedJoin(op_id, Window.tumbling("count", 10),
+                        DataType.INT, 0.05)
+
+
+def _agg(op_id):
+    return WindowedAggregate(op_id, Window.tumbling("count", 10), "sum",
+                             DataType.DOUBLE, DataType.INT, 0.2)
+
+
+class TestChain:
+    def test_edges_wire_sequentially(self):
+        ops = [_source("a"), _filter("b"), Sink("c")]
+        assert chain(ops) == [("a", "b"), ("b", "c")]
+
+    def test_single_operator_no_edges(self):
+        assert chain([_source("a")]) == []
+
+
+class TestLinearTemplate:
+    def test_without_aggregate(self):
+        plan = LinearTemplate().build(_source("src1"),
+                                      [_filter("f1"), _filter("f2")], None)
+        assert plan.topological_order() == ["src1", "f1", "f2", "sink"]
+
+    def test_with_aggregate(self):
+        plan = LinearTemplate().build(_source("src1"), [_filter("f1")],
+                                      _agg("agg1"))
+        assert "agg1" in plan
+        assert plan.parents("sink") == ["agg1"]
+
+
+class TestTwoWayTemplate:
+    def test_branch_filters_wire_to_join(self):
+        plan = TwoWayJoinTemplate().build(
+            sources=[_source("src1"), _source("src2")],
+            branch_filters=[[_filter("f1")], []],
+            join=_join("join1"), post_filters=[_filter("post1")],
+            aggregate=None)
+        assert set(plan.parents("join1")) == {"f1", "src2"}
+        assert plan.parents("post1") == ["join1"]
+        assert plan.parents("sink") == ["post1"]
+
+    def test_branch_count_validated(self):
+        with pytest.raises(ValueError):
+            TwoWayJoinTemplate().build(
+                sources=[_source("src1")], branch_filters=[[]],
+                join=_join("join1"), post_filters=[], aggregate=None)
+
+
+class TestThreeWayTemplate:
+    def test_left_deep_join_tree(self):
+        plan = ThreeWayJoinTemplate().build(
+            sources=[_source("src1"), _source("src2"), _source("src3")],
+            branch_filters=[[], [], []],
+            joins=[_join("join1"), _join("join2")],
+            post_filters=[], aggregate=_agg("agg1"))
+        assert set(plan.parents("join1")) == {"src1", "src2"}
+        assert set(plan.parents("join2")) == {"join1", "src3"}
+        assert plan.parents("agg1") == ["join2"]
+
+    def test_join_count_validated(self):
+        with pytest.raises(ValueError):
+            ThreeWayJoinTemplate().build(
+                sources=[_source("src1"), _source("src2"),
+                         _source("src3")],
+                branch_filters=[[], [], []], joins=[_join("join1")],
+                post_filters=[], aggregate=None)
