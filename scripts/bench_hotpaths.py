@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Measure the hot-path speedups and emit ``BENCH_hotpaths.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotpaths.py [--scale small]
+        [--out BENCH_hotpaths.json] [--profile] [--seed 7]
+
+Benchmarks the fast predict/train stack against faithful replicas of
+the pre-optimization code (see ``repro/experiments/hotpaths.py`` and
+PERFORMANCE.md): vectorized collation throughput, end-to-end
+placement-decision latency, and training epoch time.  The JSON also
+records an equivalence check — fast- and slow-path predictions must
+agree within 1e-9.
+
+``--profile`` additionally prints a cProfile top-20 (cumulative time)
+of one fast-path placement decision, to locate future regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.hotpaths import (profile_decision,  # noqa: E402
+                                        run_hotpath_benchmarks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default=None,
+                        help="tiny / small / full (default: $REPRO_SCALE "
+                             "or small)")
+    parser.add_argument("--out", default="BENCH_hotpaths.json",
+                        help="output JSON path")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="corpus sampling seed")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a cProfile top-20 of one placement "
+                             "decision")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_decision(args.scale)
+
+    results = run_hotpath_benchmarks(args.scale, seed=args.seed)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    decision = results["placement_decision"]
+    epoch = results["epoch"]
+    print(f"scale={results['scale']}")
+    print(f"collate:   {results['collate']['speedup']:6.1f}x "
+          f"({results['collate']['graphs_per_s_fast']:,.0f} graphs/s)")
+    print(f"decision:  {decision['speedup']:6.1f}x "
+          f"({1e3 * decision['fast_s_per_decision']:.1f} ms/decision, "
+          f"{decision['n_candidates']} candidates)")
+    print(f"epoch:     {epoch['speedup']:6.1f}x "
+          f"({epoch['fast_s_per_epoch']:.2f} s/epoch, "
+          f"{epoch['n_graphs']} graphs)")
+    print(f"equivalence: max|delta|={results['equivalence']['max_abs_delta']:.2e}"
+          f" pass={results['equivalence']['pass']}")
+    print(f"wrote {args.out}")
+    return 0 if results["equivalence"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

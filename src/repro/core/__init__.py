@@ -4,7 +4,10 @@ from .costream import Costream
 from .dataset import GraphDataset, split_traces
 from .ensemble import MetricEnsemble
 from .features import FEATURE_MODES, Featurizer, NODE_TYPES
-from .graph import GraphBatch, QueryGraph, build_graph, collate
+from .graph import (GraphBatch, PlanFeatures, QueryGraph, as_batches,
+                    build_graph, collate, collate_candidates,
+                    collate_chunks, collate_reference, featurize_hosts,
+                    featurize_plan)
 from .metrics import (balance_classes, classification_accuracy, q_error,
                       q_error_percentiles)
 from .model import CostreamGNN, MESSAGE_SCHEMES
@@ -14,7 +17,10 @@ from .training import CostModel, TrainingConfig, TrainingHistory
 __all__ = [
     "Costream", "GraphDataset", "split_traces", "MetricEnsemble",
     "FEATURE_MODES", "Featurizer", "NODE_TYPES", "GraphBatch", "QueryGraph",
-    "build_graph", "collate", "balance_classes", "classification_accuracy",
+    "build_graph", "collate", "collate_candidates", "collate_chunks",
+    "collate_reference",
+    "as_batches", "PlanFeatures", "featurize_plan", "featurize_hosts",
+    "balance_classes", "classification_accuracy",
     "q_error", "q_error_percentiles", "CostreamGNN", "MESSAGE_SCHEMES",
     "CostModel", "TrainingConfig", "TrainingHistory", "load_costream",
     "save_costream",

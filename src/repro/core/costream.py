@@ -12,7 +12,9 @@ from ..simulator.result import METRIC_NAMES, QueryMetrics
 from .dataset import GraphDataset
 from .ensemble import MetricEnsemble
 from .features import Featurizer
-from .graph import QueryGraph, build_graph
+from .graph import (GraphBatch, QueryGraph, build_graph, collate,
+                    collate_candidates, collate_chunks, featurize_hosts,
+                    featurize_plan)
 from .training import TrainingConfig
 
 __all__ = ["Costream"]
@@ -79,13 +81,68 @@ class Costream:
         return build_graph(plan, placement, cluster, self.featurizer,
                            selectivities)
 
+    def build_graphs(self, plan: QueryPlan,
+                     placements: list[Placement], cluster: Cluster,
+                     selectivities: dict[str, float] | None = None
+                     ) -> list[QueryGraph]:
+        """Build graphs for many placements of one plan.
+
+        Featurizes the plan's operators and the cluster's hosts exactly
+        once and reuses them across every candidate — the fast path for
+        placement optimization, where ~30 candidates share one plan.
+        """
+        plan_features = featurize_plan(plan, self.featurizer,
+                                       selectivities)
+        host_features = featurize_hosts(cluster, self.featurizer)
+        return [build_graph(plan, placement, cluster, self.featurizer,
+                            selectivities, plan_features=plan_features,
+                            host_features=host_features)
+                for placement in placements]
+
+    def collate_placements(self, plan: QueryPlan,
+                           placements: list[Placement], cluster: Cluster,
+                           selectivities: dict[str, float] | None = None
+                           ) -> list[GraphBatch]:
+        """Batches for many candidate placements of one plan.
+
+        The placement-optimization hot path: featurizes the plan and
+        hosts once and assembles the batches directly
+        (:func:`repro.core.graph.collate_candidates`), skipping the
+        per-candidate graph objects entirely.  Query-only featurization
+        and partial placements fall back to ``build_graphs`` +
+        ``collate_chunks``; batches are identical either way.
+        """
+        batch_size = self.config.batch_size
+        n_ops = len(plan)
+        # Partial placements take the per-graph fallback; an unknown
+        # host raises (KeyError here, exactly as build_graphs would).
+        direct = (self.featurizer.mode != "query_only"
+                  and all(len(p) == n_ops for p in placements))
+        if direct:
+            plan_features = featurize_plan(plan, self.featurizer,
+                                           selectivities)
+            host_features = featurize_hosts(cluster, self.featurizer)
+            return [collate_candidates(plan_features,
+                                       placements[start:start
+                                                  + batch_size],
+                                       host_features)
+                    for start in range(0, len(placements), batch_size)]
+        graphs = self.build_graphs(plan, placements, cluster,
+                                   selectivities)
+        return collate_chunks(graphs, batch_size)
+
     def predict(self, plan: QueryPlan, placement: Placement,
                 cluster: Cluster,
                 selectivities: dict[str, float] | None = None
                 ) -> QueryMetrics:
-        """Predict all cost metrics of one placed query."""
+        """Predict all cost metrics of one placed query.
+
+        The query is featurized and collated exactly once; the same
+        :class:`GraphBatch` feeds every metric ensemble and member.
+        """
         graph = self.build_graph(plan, placement, cluster, selectivities)
-        values = {metric: float(ensemble.predict([graph])[0])
+        batch = collate([graph])
+        values = {metric: float(ensemble.predict(batch)[0])
                   for metric, ensemble in self.ensembles.items()}
         return QueryMetrics(
             throughput=values.get("throughput", 0.0),
@@ -95,5 +152,7 @@ class Costream:
             success=bool(values.get("success", 1.0) >= 0.5))
 
     def predict_metric(self, metric: str,
-                       graphs: list[QueryGraph]) -> np.ndarray:
+                       graphs: list[QueryGraph] | GraphBatch
+                       ) -> np.ndarray:
+        """Predict one metric; accepts graphs or pre-collated batches."""
         return self.ensembles[metric].predict(graphs)

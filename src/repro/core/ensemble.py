@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.autodiff import _legacy_kernels_enabled
 from .features import Featurizer
-from .graph import QueryGraph
+from .graph import GraphBatch, QueryGraph, as_batches
 from .training import CostModel, TrainingConfig
 
 __all__ = ["MetricEnsemble"]
@@ -52,17 +53,49 @@ class MetricEnsemble:
             member.fine_tune(graphs, labels, epochs=epochs)
         return self
 
-    def predict(self, graphs: list[QueryGraph]) -> np.ndarray:
+    def _shared_batches(self, graphs) -> list[GraphBatch]:
+        """Collate once; every member predicts from the same batches.
+
+        Accepts graphs, one :class:`GraphBatch`, or pre-collated
+        batches (shared further across metrics by the callers).
+        """
+        return as_batches(graphs, self.members[0].config.batch_size)
+
+    def _member_predictions(self, graphs) -> np.ndarray:
+        """(size, n_graphs) member predictions from one shared collation.
+
+        The fast path drives every member's array-only forward over the
+        same batches directly — one collation, no per-member tensor or
+        mode bookkeeping — and applies the label-space transform once.
+        Bitwise equivalent to calling each member's ``predict``.
+        """
+        batches = self._shared_batches(graphs)
+        if _legacy_kernels_enabled():
+            return np.stack([m.predict(batches) for m in self.members])
+        if len(batches) == 1:
+            batch = batches[0]
+            raw = np.stack([
+                np.atleast_1d(m.network._forward_arrays(batch))
+                for m in self.members])
+        else:
+            raw = np.stack([
+                np.concatenate(
+                    [np.atleast_1d(m.network._forward_arrays(b))
+                     for b in batches])
+                for m in self.members])
+        return self.members[0].to_label_space(raw)
+
+    def predict(self, graphs: list[QueryGraph] | GraphBatch) -> np.ndarray:
         """Combined prediction: mean (regression) / majority (binary)."""
-        stacked = np.stack([m.predict(graphs) for m in self.members])
+        stacked = self._member_predictions(graphs)
         if self.is_regression:
             return stacked.mean(axis=0)
         votes = (stacked >= 0.5).sum(axis=0)
         return (votes * 2 > len(self.members)).astype(np.float64)
 
-    def predict_proba(self, graphs: list[QueryGraph]) -> np.ndarray:
+    def predict_proba(self, graphs: list[QueryGraph] | GraphBatch
+                      ) -> np.ndarray:
         """Mean class probability (binary metrics only)."""
         if self.is_regression:
             raise ValueError(f"{self.metric} is a regression metric")
-        return np.stack([m.predict(graphs)
-                         for m in self.members]).mean(axis=0)
+        return self._member_predictions(graphs).mean(axis=0)

@@ -13,11 +13,26 @@ message passing:
 * stage 3 (``SOURCES -> OPS``) — a topological sweep along the data
   flow, organized as *levels* (all nodes at flow depth d across the
   whole batch are updated together).
+
+Fast-path machinery (see PERFORMANCE.md):
+
+* operator features are placement-invariant, so :func:`featurize_plan`
+  computes them once per plan and :func:`build_graph` reuses them
+  across all placement candidates (only host features and placement
+  edges differ per candidate);
+* :func:`featurize_hosts` caches per-host feature vectors for a
+  cluster, shared across candidates the same way;
+* every :class:`QueryGraph` lazily caches the numpy index/feature
+  arrays that batching needs, so :func:`collate` is pure array
+  concatenation and vectorized grouping — no per-node Python loops.
+  The original loop-based implementation is retained as
+  :func:`collate_reference` and the equivalence is tested.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -26,8 +41,63 @@ from ..hardware.placement import Placement
 from ..query.plan import QueryPlan
 from .features import Featurizer, NODE_TYPES
 
-__all__ = ["QueryGraph", "GraphBatch", "StageSlice", "build_graph",
-           "collate"]
+__all__ = ["QueryGraph", "GraphBatch", "StageSlice", "PlanFeatures",
+           "build_graph", "featurize_plan", "featurize_hosts", "collate",
+           "collate_candidates", "collate_reference", "collate_chunks",
+           "as_batches"]
+
+_TYPE_CODE = {node_type: code for code, node_type in enumerate(NODE_TYPES)}
+
+_EMPTY_INDEX = np.asarray([], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class _GraphArrays:
+    """Precomputed per-graph arrays that make :func:`collate` loop-free.
+
+    Built lazily (once per :class:`QueryGraph`) and reused by every
+    batch the graph participates in — mini-batch collation across
+    training epochs then reduces to concatenating these arrays.
+    """
+
+    type_codes: np.ndarray                 # (N,) index into NODE_TYPES
+    type_rows: dict[str, np.ndarray]       # local node ids per type
+    type_features: dict[str, np.ndarray]   # (n_type, dim) per type
+    flow_src: np.ndarray
+    flow_dst: np.ndarray
+    placement_src: np.ndarray
+    placement_dst: np.ndarray
+    depth: np.ndarray                      # (N,) flow depth, hosts -1
+
+
+def _build_collation_arrays(node_types: list[str],
+                            features: list[np.ndarray],
+                            flow_edges: list[tuple[int, int]],
+                            placement_edges: list[tuple[int, int]],
+                            flow_depth: list[int]) -> _GraphArrays:
+    """Shared builder behind ``QueryGraph.arrays`` and
+    ``PlanFeatures.arrays`` — one definition keeps the per-graph and
+    cached-plan paths in sync."""
+    codes = np.asarray([_TYPE_CODE[t] for t in node_types],
+                       dtype=np.int64)
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    for code, node_type in enumerate(NODE_TYPES):
+        rows = np.nonzero(codes == code)[0]
+        if rows.size == 0:
+            continue
+        type_rows[node_type] = rows
+        type_features[node_type] = np.vstack(
+            [features[j] for j in rows])
+    flow = np.asarray(flow_edges, dtype=np.int64).reshape(-1, 2)
+    placement = np.asarray(placement_edges,
+                           dtype=np.int64).reshape(-1, 2)
+    return _GraphArrays(
+        type_codes=codes, type_rows=type_rows,
+        type_features=type_features,
+        flow_src=flow[:, 0], flow_dst=flow[:, 1],
+        placement_src=placement[:, 0], placement_dst=placement[:, 1],
+        depth=np.asarray(flow_depth, dtype=np.int64))
 
 
 @dataclass(frozen=True)
@@ -50,6 +120,17 @@ class QueryGraph:
     def max_depth(self) -> int:
         return max(self.flow_depth)
 
+    @property
+    def arrays(self) -> _GraphArrays:
+        """Collation arrays, computed on first use and cached."""
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = _build_collation_arrays(
+                self.node_types, self.features, self.flow_edges,
+                self.placement_edges, self.flow_depth)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class StageSlice:
@@ -64,6 +145,18 @@ class StageSlice:
     recv_rows: np.ndarray
     edge_src: np.ndarray
     edge_seg: np.ndarray
+
+    def flat_seg(self, width: int) -> np.ndarray:
+        """Row-major flat indices for the scatter-add of ``(E, width)``
+        messages into receiver slots — computed once and cached, since
+        a batch is typically reused across ensemble members/metrics."""
+        cached = self.__dict__.get("_flat_seg")
+        if cached is None or cached[0] != width:
+            flat = (self.edge_seg[:, None] * width
+                    + np.arange(width, dtype=np.int64)).ravel()
+            cached = (width, flat)
+            self.__dict__["_flat_seg"] = cached
+        return cached[1]
 
 
 @dataclass(frozen=True)
@@ -80,16 +173,79 @@ class GraphBatch:
     flow_levels: list[dict[str, StageSlice]]   # stage 3, one per depth
     neighbor_rounds: dict[str, StageSlice]     # traditional-MP ablation
 
+    def flat_graph_id(self, width: int) -> np.ndarray:
+        """Cached flat indices for the per-graph readout scatter-add."""
+        cached = self.__dict__.get("_flat_gid")
+        if cached is None or cached[0] != width:
+            flat = (self.graph_id[:, None] * width
+                    + np.arange(width, dtype=np.int64)).ravel()
+            cached = (width, flat)
+            self.__dict__["_flat_gid"] = cached
+        return cached[1]
 
-def build_graph(plan: QueryPlan, placement: Placement | None,
-                cluster: Cluster | None, featurizer: Featurizer,
-                selectivities: dict[str, float] | None = None) -> QueryGraph:
-    """Build the joint graph for one (plan, placement, cluster).
+    def stage_plan(self, width: int) -> list[list[tuple]]:
+        """Flattened staged-update schedule, cached per batch.
 
-    With ``featurizer.mode == 'query_only'`` (or a ``None`` placement)
-    the host nodes are omitted entirely — the Exp 7a ablation that
-    knows the query logic but not the placement.
+        One list per stage (ops->hw, hw->ops, then each flow level);
+        each entry is ``(node_type, recv_rows, edge_src, flat_seg,
+        n_recv)`` with ``edge_src=None`` for edgeless receivers.  A
+        decision reuses one batch across 3 metrics x K members, so the
+        schedule (and its scatter indices) is built once.
+        """
+        cached = self.__dict__.get("_stage_plan")
+        if cached is None or cached[0] != width:
+            plan = []
+            for slices in (self.ops_to_hw, self.hw_to_ops,
+                           *self.flow_levels):
+                group = []
+                for node_type, stage in slices.items():
+                    if stage.recv_rows.size == 0:
+                        continue
+                    has_edges = stage.edge_src.size > 0
+                    group.append((node_type, stage.recv_rows,
+                                  stage.edge_src if has_edges else None,
+                                  stage.flat_seg(width) if has_edges
+                                  else None,
+                                  stage.recv_rows.size))
+                plan.append(group)
+            cached = (width, plan)
+            self.__dict__["_stage_plan"] = cached
+        return cached[1]
+
+
+@dataclass(frozen=True)
+class PlanFeatures:
+    """Placement-invariant part of a joint graph.
+
+    Operator features, flow edges and flow depths depend only on the
+    (plan, selectivities) pair — never on the placement or cluster — so
+    a placement optimizer enumerating 30 candidates featurizes the plan
+    exactly once and stamps these onto every candidate graph.
     """
+
+    node_types: list[str]
+    features: list[np.ndarray]
+    flow_edges: list[tuple[int, int]]
+    flow_depth: list[int]
+    op_index: dict[str, int]
+
+    @property
+    def arrays(self) -> _GraphArrays:
+        """Collation arrays of the operator part, cached once per plan
+        and shared by every candidate graph built from this object."""
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = _build_collation_arrays(
+                self.node_types, self.features, self.flow_edges, [],
+                self.flow_depth)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
+
+def featurize_plan(plan: QueryPlan, featurizer: Featurizer,
+                   selectivities: dict[str, float] | None = None
+                   ) -> PlanFeatures:
+    """Featurize the operators of one plan (placement-invariant)."""
     selectivities = selectivities or {}
     node_types: list[str] = []
     features: list[np.ndarray] = []
@@ -99,27 +255,108 @@ def build_graph(plan: QueryPlan, placement: Placement | None,
         node_types.append(plan.operator(op_id).kind.value)
         features.append(featurizer.operator_features(plan, op_id,
                                                      selectivities))
-
     flow_edges = [(op_index[a], op_index[b]) for a, b in plan.edges]
     depth = _flow_depths(plan, op_index)
+    return PlanFeatures(node_types=node_types, features=features,
+                        flow_edges=flow_edges, flow_depth=depth,
+                        op_index=op_index)
+
+
+def featurize_hosts(cluster: Cluster, featurizer: Featurizer,
+                    node_ids: Iterable[str] | None = None
+                    ) -> dict[str, np.ndarray]:
+    """Per-host feature vectors, reusable across placement candidates."""
+    ids = cluster.node_ids if node_ids is None else node_ids
+    return {node_id: featurizer.host_features(cluster.node(node_id))
+            for node_id in ids}
+
+
+def build_graph(plan: QueryPlan, placement: Placement | None,
+                cluster: Cluster | None, featurizer: Featurizer,
+                selectivities: dict[str, float] | None = None,
+                plan_features: PlanFeatures | None = None,
+                host_features: dict[str, np.ndarray] | None = None
+                ) -> QueryGraph:
+    """Build the joint graph for one (plan, placement, cluster).
+
+    With ``featurizer.mode == 'query_only'`` (or a ``None`` placement)
+    the host nodes are omitted entirely — the Exp 7a ablation that
+    knows the query logic but not the placement.
+
+    ``plan_features`` / ``host_features`` are optional precomputed
+    caches (:func:`featurize_plan` / :func:`featurize_hosts`): when
+    given, only the placement edges are assembled per call.
+    """
+    base = plan_features or featurize_plan(plan, featurizer, selectivities)
+    node_types = list(base.node_types)
+    features = list(base.features)
+    depth = list(base.flow_depth)
+    op_index = base.op_index
 
     host_index: dict[str, int] = {}
     placement_edges: list[tuple[int, int]] = []
     include_hosts = (featurizer.mode != "query_only"
                      and placement is not None and cluster is not None)
+    n_ops = len(node_types)
     if include_hosts:
         for node_id in placement.used_nodes():
             host_index[node_id] = len(node_types)
             node_types.append("host")
-            features.append(featurizer.host_features(cluster.node(node_id)))
+            if host_features is not None and node_id in host_features:
+                features.append(host_features[node_id])
+            else:
+                features.append(featurizer.host_features(
+                    cluster.node(node_id)))
             depth.append(-1)
         for op_id, node_id in placement.items():
             placement_edges.append((op_index[op_id], host_index[node_id]))
 
-    return QueryGraph(node_types=node_types, features=features,
-                      flow_edges=flow_edges,
-                      placement_edges=placement_edges, flow_depth=depth,
-                      op_index=op_index, host_index=host_index)
+    graph = QueryGraph(node_types=node_types, features=features,
+                       flow_edges=base.flow_edges,
+                       placement_edges=placement_edges, flow_depth=depth,
+                       op_index=op_index, host_index=host_index)
+    if plan_features is not None:
+        # The collation arrays of the operator part are cached on the
+        # shared PlanFeatures; stamping them (plus the small host part)
+        # onto the graph makes its first collation loop-free too.
+        object.__setattr__(graph, "_arrays", _arrays_with_hosts(
+            plan_features.arrays, features[n_ops:], placement_edges,
+            n_ops))
+    return graph
+
+
+def _arrays_with_hosts(plan_arrays: _GraphArrays,
+                       host_vectors: list[np.ndarray],
+                       placement_edges: list[tuple[int, int]],
+                       n_ops: int) -> _GraphArrays:
+    """Extend cached plan arrays with one candidate's host part.
+
+    Produces exactly what ``QueryGraph._build_arrays`` would compute:
+    host nodes occupy the trailing rows, and ``host`` is the last entry
+    of ``NODE_TYPES`` so dict insertion order is preserved.
+    """
+    if not host_vectors and not placement_edges:
+        return plan_arrays
+    n_hosts = len(host_vectors)
+    codes = np.concatenate([
+        plan_arrays.type_codes,
+        np.full(n_hosts, _TYPE_CODE["host"], dtype=np.int64)])
+    type_rows = dict(plan_arrays.type_rows)
+    type_features = dict(plan_arrays.type_features)
+    if n_hosts:
+        type_rows["host"] = np.arange(n_ops, n_ops + n_hosts,
+                                      dtype=np.int64)
+        type_features["host"] = np.vstack(host_vectors)
+    placement = np.asarray(placement_edges,
+                           dtype=np.int64).reshape(-1, 2)
+    depth = np.concatenate([plan_arrays.depth,
+                            np.full(n_hosts, -1, dtype=np.int64)])
+    return _GraphArrays(
+        type_codes=codes, type_rows=type_rows,
+        type_features=type_features,
+        flow_src=plan_arrays.flow_src, flow_dst=plan_arrays.flow_dst,
+        placement_src=placement[:, 0], placement_dst=placement[:, 1],
+        depth=depth)
 
 
 def _flow_depths(plan: QueryPlan, op_index: dict[str, int]) -> list[int]:
@@ -137,7 +374,145 @@ def _flow_depths(plan: QueryPlan, op_index: dict[str, int]) -> list[int]:
 # Batching
 # ----------------------------------------------------------------------
 def collate(graphs: list[QueryGraph]) -> GraphBatch:
-    """Merge graphs into one disjoint union with stage index arrays."""
+    """Merge graphs into one disjoint union with stage index arrays.
+
+    Vectorized: all grouping happens on the per-graph arrays cached on
+    each :class:`QueryGraph`; produces batches identical to
+    :func:`collate_reference` (tested property-style).
+    """
+    if not graphs:
+        raise ValueError("cannot collate an empty list of graphs")
+    arrays = [g.arrays for g in graphs]
+    sizes = np.asarray([g.n_nodes for g in graphs], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n_nodes = int(offsets[-1])
+    graph_id = np.repeat(np.arange(len(graphs), dtype=np.int64), sizes)
+    codes = np.concatenate([a.type_codes for a in arrays])
+
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        row_parts = []
+        feature_parts = []
+        for i, a in enumerate(arrays):
+            rows = a.type_rows.get(node_type)
+            if rows is not None:
+                row_parts.append(rows + offsets[i])
+                feature_parts.append(a.type_features[node_type])
+        if not row_parts:
+            continue
+        type_rows[node_type] = np.concatenate(row_parts)
+        type_features[node_type] = np.concatenate(feature_parts, axis=0)
+
+    placement_src = np.concatenate(
+        [a.placement_src + offsets[i] for i, a in enumerate(arrays)])
+    placement_dst = np.concatenate(
+        [a.placement_dst + offsets[i] for i, a in enumerate(arrays)])
+    flow_src = np.concatenate(
+        [a.flow_src + offsets[i] for i, a in enumerate(arrays)])
+    flow_dst = np.concatenate(
+        [a.flow_dst + offsets[i] for i, a in enumerate(arrays)])
+
+    ops_to_hw = _stage_slices_vec(codes, placement_src, placement_dst,
+                                  restrict_types=("host",))
+    hw_to_ops = _stage_slices_vec(codes, placement_dst, placement_src,
+                                  restrict_types=None)
+
+    max_depth = max(g.max_depth for g in graphs)
+    depth = np.concatenate([a.depth for a in arrays])
+    dst_depth = depth[flow_dst]
+    flow_levels: list[dict[str, StageSlice]] = []
+    for level in range(1, max_depth + 1):
+        at_level = dst_depth == level
+        flow_levels.append(_stage_slices_vec(codes, flow_src[at_level],
+                                             flow_dst[at_level],
+                                             restrict_types=None))
+
+    # Symmetric neighborhood (traditional message passing ablation):
+    # flow and placement edges in both directions.
+    all_src = np.concatenate([flow_src, flow_dst, placement_src,
+                              placement_dst])
+    all_dst = np.concatenate([flow_dst, flow_src, placement_dst,
+                              placement_src])
+    neighbor_rounds = _stage_slices_vec(codes, all_src, all_dst,
+                                        restrict_types=None,
+                                        type_rows=type_rows,
+                                        include_isolated=True)
+
+    return GraphBatch(n_nodes=n_nodes, n_graphs=len(graphs),
+                      graph_id=graph_id, type_rows=type_rows,
+                      type_features=type_features, ops_to_hw=ops_to_hw,
+                      hw_to_ops=hw_to_ops, flow_levels=flow_levels,
+                      neighbor_rounds=neighbor_rounds)
+
+
+def _stage_slices_vec(codes: np.ndarray, edge_src: np.ndarray,
+                      edge_dst: np.ndarray,
+                      restrict_types: tuple[str, ...] | None,
+                      type_rows: dict[str, np.ndarray] | None = None,
+                      include_isolated: bool = False
+                      ) -> dict[str, StageSlice]:
+    """Group one edge set by receiver node type (vectorized)."""
+    slices: dict[str, StageSlice] = {}
+    types = restrict_types or NODE_TYPES
+    dst_codes = codes[edge_dst] if edge_dst.size else _EMPTY_INDEX
+    present = set(np.unique(dst_codes).tolist())
+    for node_type in types:
+        code = _TYPE_CODE[node_type]
+        if not include_isolated and code not in present:
+            continue  # no receivers of this type: same as an empty recv
+        if code in present:
+            mask = dst_codes == code
+            dst = edge_dst[mask]
+            src = edge_src[mask]
+        else:
+            dst = src = _EMPTY_INDEX
+        if include_isolated:
+            recv = (type_rows or {}).get(node_type, _EMPTY_INDEX)
+        else:
+            recv = np.unique(dst)
+        if recv.size == 0:
+            continue
+        seg = np.searchsorted(recv, dst).astype(np.int64)
+        slices[node_type] = StageSlice(recv_rows=recv, edge_src=src,
+                                       edge_seg=seg)
+    return slices
+
+
+def collate_chunks(graphs: Sequence[QueryGraph],
+                   batch_size: int) -> list[GraphBatch]:
+    """Collate ``graphs`` into chunked batches of at most ``batch_size``."""
+    return [collate(list(graphs[start:start + batch_size]))
+            for start in range(0, len(graphs), batch_size)]
+
+
+def as_batches(graphs, batch_size: int) -> list[GraphBatch]:
+    """Normalize graphs / a batch / batches into a list of batches.
+
+    Accepts a list of :class:`QueryGraph` (collated here in chunks of
+    ``batch_size``), a single :class:`GraphBatch`, or a pre-collated
+    list of batches — the hook that lets one collation be shared across
+    every ensemble member and metric of a placement decision.
+    """
+    if isinstance(graphs, GraphBatch):
+        return [graphs]
+    graphs = list(graphs)
+    if graphs and isinstance(graphs[0], GraphBatch):
+        return graphs
+    return collate_chunks(graphs, batch_size)
+
+
+# ----------------------------------------------------------------------
+# Reference (loop-based) batching, kept for equivalence testing
+# ----------------------------------------------------------------------
+def collate_reference(graphs: list[QueryGraph]) -> GraphBatch:
+    """The original per-node-loop collation.
+
+    Retained as the executable specification of :func:`collate`: the
+    vectorized path must produce identical batches (see
+    ``tests/test_collate_equivalence.py``), and the hot-path benchmark
+    measures its speedup against this implementation.
+    """
     if not graphs:
         raise ValueError("cannot collate an empty list of graphs")
     offsets = np.cumsum([0] + [g.n_nodes for g in graphs])
@@ -181,8 +556,6 @@ def collate(graphs: list[QueryGraph]) -> GraphBatch:
                                          flow_dst[at_level],
                                          restrict_types=None))
 
-    # Symmetric neighborhood (traditional message passing ablation):
-    # flow and placement edges in both directions.
     all_src = np.concatenate([flow_src, flow_dst, placement_src,
                               placement_dst])
     all_dst = np.concatenate([flow_dst, flow_src, placement_dst,
@@ -213,7 +586,7 @@ def _stage_slices(node_types: list[str], edge_src: np.ndarray,
                   edge_dst: np.ndarray,
                   restrict_types: tuple[str, ...] | None,
                   include_isolated: bool = False) -> dict[str, StageSlice]:
-    """Group one edge set by receiver node type."""
+    """Group one edge set by receiver node type (reference loops)."""
     slices: dict[str, StageSlice] = {}
     types = restrict_types or NODE_TYPES
     for node_type in types:
@@ -239,3 +612,207 @@ def _stage_slices(node_types: list[str], edge_src: np.ndarray,
         slices[node_type] = StageSlice(recv_rows=recv, edge_src=src,
                                        edge_seg=seg)
     return slices
+
+
+# ----------------------------------------------------------------------
+# Direct candidate batching (placement optimization fast path)
+# ----------------------------------------------------------------------
+def _candidate_parts(plan_features: PlanFeatures) -> dict:
+    """Plan-side precomputation for :func:`collate_candidates`.
+
+    Cached on the :class:`PlanFeatures`: per-operator type positions,
+    per-level flow stage slices and the symmetric-neighborhood flow
+    groups, all in plan-local coordinates ready for tiling.
+    """
+    cached = plan_features.__dict__.get("_cand_parts")
+    if cached is not None:
+        return cached
+    arrays = plan_features.arrays
+    n_ops = len(plan_features.node_types)
+    codes = arrays.type_codes
+    type_pos = np.zeros(n_ops, dtype=np.int64)
+    for rows in arrays.type_rows.values():
+        type_pos[rows] = np.arange(rows.size, dtype=np.int64)
+
+    max_depth = max(plan_features.flow_depth)
+    dst_depth = arrays.depth[arrays.flow_dst] \
+        if arrays.flow_dst.size else _EMPTY_INDEX
+    level_slices = []
+    for level in range(1, max_depth + 1):
+        at_level = dst_depth == level
+        level_slices.append(_stage_slices_vec(
+            codes, arrays.flow_src[at_level], arrays.flow_dst[at_level],
+            restrict_types=None))
+
+    # Symmetric-neighborhood flow groups (forward, then backward), per
+    # receiver type, in plan-local coordinates.
+    flow_groups: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+    for src_e, dst_e in ((arrays.flow_src, arrays.flow_dst),
+                         (arrays.flow_dst, arrays.flow_src)):
+        dst_codes = codes[dst_e] if dst_e.size else _EMPTY_INDEX
+        for node_type in NODE_TYPES[:-1]:
+            mask = dst_codes == _TYPE_CODE[node_type]
+            flow_groups.setdefault(node_type, []).append(
+                (src_e[mask], type_pos[dst_e[mask]]))
+
+    cached = {"n_ops": n_ops, "type_pos": type_pos,
+              "type_code": codes, "max_depth": max_depth,
+              "level_slices": level_slices, "flow_groups": flow_groups}
+    plan_features.__dict__["_cand_parts"] = cached
+    return cached
+
+
+def _tile(local: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Concatenate ``local + shift`` for every shift (vectorized)."""
+    if local.size == 0:
+        return _EMPTY_INDEX
+    return (local[None, :] + shifts[:, None]).ravel()
+
+
+def collate_candidates(plan_features: PlanFeatures,
+                       placements: Sequence[Placement],
+                       host_features: dict[str, np.ndarray]
+                       ) -> GraphBatch:
+    """Collate many placements of ONE plan directly into a batch.
+
+    The placement optimizer's hot path: the operator part of every
+    candidate graph is identical, so it is tiled from the cached plan
+    arrays and only the per-candidate host rows and placement edges are
+    assembled in Python.  Produces exactly the batch that
+    ``collate([build_graph(plan, p, ...) for p in placements])`` would
+    (the collation-equivalence test covers it) — without constructing
+    any intermediate ``QueryGraph``.  Every placement must cover every
+    operator (raises ``ValueError`` otherwise); callers needing the
+    ``traditional``-scheme ``neighbor_rounds`` get them too.
+    """
+    if not placements:
+        raise ValueError("cannot collate an empty list of placements")
+    parts = _candidate_parts(plan_features)
+    n_ops = parts["n_ops"]
+    op_index = plan_features.op_index
+    type_pos = parts["type_pos"]
+    type_code = parts["type_code"]
+    arrays = plan_features.arrays
+    n_cands = len(placements)
+
+    # Per-candidate pass: host rows/features and placement edges.
+    offsets = np.empty(n_cands, dtype=np.int64)      # node offsets
+    host_counts = np.empty(n_cands, dtype=np.int64)
+    host_vectors: list[np.ndarray] = []
+    host_row_parts: list[np.ndarray] = []
+    ph_src: list[int] = []                           # ops -> hw edges
+    ph_seg: list[int] = []
+    hw_src: dict[int, list[int]] = {}                # hw -> ops, by type
+    hw_seg: dict[int, list[int]] = {}
+    type_counts = {code: arrays.type_rows[node_type].size
+                   for code, node_type in enumerate(NODE_TYPES[:-1])
+                   if node_type in arrays.type_rows}
+    offset = 0
+    host_total = 0
+    for index, placement in enumerate(placements):
+        if len(placement) != n_ops:
+            raise ValueError("collate_candidates requires total "
+                             "placements covering every operator")
+        offsets[index] = offset
+        host_index: dict[str, int] = {}
+        for op_id, node_id in placement.items():
+            host_local = host_index.get(node_id)
+            if host_local is None:
+                host_local = len(host_index)
+                host_index[node_id] = host_local
+                host_vectors.append(host_features[node_id])
+            op_row = op_index[op_id]
+            ph_src.append(offset + op_row)
+            ph_seg.append(host_total + host_local)
+            code = int(type_code[op_row])
+            hw_src.setdefault(code, []).append(offset + n_ops
+                                               + host_local)
+            hw_seg.setdefault(code, []).append(
+                index * type_counts[code] + int(type_pos[op_row]))
+        n_hosts = len(host_index)
+        host_counts[index] = n_hosts
+        host_row_parts.append(np.arange(offset + n_ops,
+                                        offset + n_ops + n_hosts,
+                                        dtype=np.int64))
+        host_total += n_hosts
+        offset += n_ops + n_hosts
+
+    n_nodes = offset
+    sizes = n_ops + host_counts
+    graph_id = np.repeat(np.arange(n_cands, dtype=np.int64), sizes)
+    host_rows = (np.concatenate(host_row_parts) if host_total
+                 else _EMPTY_INDEX)
+
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES[:-1]:
+        local = arrays.type_rows.get(node_type)
+        if local is None:
+            continue
+        type_rows[node_type] = _tile(local, offsets)
+        type_features[node_type] = np.tile(
+            arrays.type_features[node_type], (n_cands, 1))
+    if host_total:
+        type_rows["host"] = host_rows
+        type_features["host"] = np.vstack(host_vectors)
+
+    ph_src_arr = np.asarray(ph_src, dtype=np.int64)
+    ph_seg_arr = np.asarray(ph_seg, dtype=np.int64)
+    ops_to_hw = {"host": StageSlice(recv_rows=host_rows,
+                                    edge_src=ph_src_arr,
+                                    edge_seg=ph_seg_arr)} \
+        if host_total else {}
+
+    hw_to_ops: dict[str, StageSlice] = {}
+    for code, node_type in enumerate(NODE_TYPES[:-1]):
+        if code not in hw_src:
+            continue
+        hw_to_ops[node_type] = StageSlice(
+            recv_rows=type_rows[node_type],
+            edge_src=np.asarray(hw_src[code], dtype=np.int64),
+            edge_seg=np.asarray(hw_seg[code], dtype=np.int64))
+
+    flow_levels: list[dict[str, StageSlice]] = []
+    for local_level in parts["level_slices"]:
+        level: dict[str, StageSlice] = {}
+        for node_type, stage in local_level.items():
+            recv_shift = np.arange(n_cands,
+                                   dtype=np.int64) * stage.recv_rows.size
+            level[node_type] = StageSlice(
+                recv_rows=_tile(stage.recv_rows, offsets),
+                edge_src=_tile(stage.edge_src, offsets),
+                edge_seg=_tile(stage.edge_seg, recv_shift))
+        flow_levels.append(level)
+
+    # Symmetric neighborhood: flow forward, flow backward, placement
+    # forward (host receivers), placement backward (operator
+    # receivers) — the reference group order.
+    neighbor_rounds: dict[str, StageSlice] = {}
+    for code, node_type in enumerate(NODE_TYPES[:-1]):
+        local = arrays.type_rows.get(node_type)
+        if local is None:
+            continue
+        recv_shift = np.arange(n_cands, dtype=np.int64) * local.size
+        group_src = [_tile(src, offsets)
+                     for src, _ in parts["flow_groups"][node_type]]
+        group_seg = [_tile(seg, recv_shift)
+                     for _, seg in parts["flow_groups"][node_type]]
+        if code in hw_src:
+            group_src.append(np.asarray(hw_src[code], dtype=np.int64))
+            group_seg.append(np.asarray(hw_seg[code], dtype=np.int64))
+        neighbor_rounds[node_type] = StageSlice(
+            recv_rows=type_rows[node_type],
+            edge_src=np.concatenate(group_src) if group_src
+            else _EMPTY_INDEX,
+            edge_seg=np.concatenate(group_seg) if group_seg
+            else _EMPTY_INDEX)
+    if host_total:
+        neighbor_rounds["host"] = StageSlice(recv_rows=host_rows,
+                                             edge_src=ph_src_arr,
+                                             edge_seg=ph_seg_arr)
+
+    return GraphBatch(n_nodes=n_nodes, n_graphs=n_cands,
+                      graph_id=graph_id, type_rows=type_rows,
+                      type_features=type_features, ops_to_hw=ops_to_hw,
+                      hw_to_ops=hw_to_ops, flow_levels=flow_levels,
+                      neighbor_rounds=neighbor_rounds)

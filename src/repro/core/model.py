@@ -24,12 +24,29 @@ import numpy as np
 
 from ..nn import MLP, Module, Tensor, concat, gather, scatter_rows, \
     segment_sum
+from ..nn.autodiff import (_legacy_kernels_enabled, _scatter_add,
+                           gather_segment_sum, is_grad_enabled)
+from ..nn.losses import _loss_and_grad_arrays
 from .features import Featurizer, NODE_TYPES
 from .graph import GraphBatch, StageSlice
 
 __all__ = ["CostreamGNN", "MESSAGE_SCHEMES"]
 
 MESSAGE_SCHEMES = ("staged", "traditional")
+
+
+def _flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
+                      n_rows: int) -> np.ndarray:
+    """Scatter-add of (E, width) values with a precomputed flat index.
+
+    Same bincount kernel (and bitwise-identical accumulation order) as
+    :func:`repro.nn.autodiff._scatter_add`, minus the per-call index
+    construction — the index is cached on the batch's stage slices.
+    """
+    width = values.shape[-1]
+    out = np.bincount(flat_index, weights=values.ravel(),
+                      minlength=n_rows * width)
+    return out.reshape(n_rows, width)
 
 
 class CostreamGNN(Module):
@@ -49,6 +66,7 @@ class CostreamGNN(Module):
         self.hidden_dim = hidden_dim
         self.scheme = scheme
         self.traditional_rounds = traditional_rounds
+        self.training = True
         rng = np.random.default_rng(seed)
         self.encoders: dict[str, MLP] = {
             node_type: MLP(self.featurizer.feature_dim(node_type),
@@ -63,10 +81,12 @@ class CostreamGNN(Module):
 
     # ------------------------------------------------------------------
     def train(self) -> None:
+        self.training = True
         for module in self._mlps():
             module.train()
 
     def eval(self) -> None:
+        self.training = False
         for module in self._mlps():
             module.eval()
 
@@ -77,6 +97,11 @@ class CostreamGNN(Module):
 
     # ------------------------------------------------------------------
     def forward(self, batch: GraphBatch) -> Tensor:
+        if not self.training and not is_grad_enabled():
+            # Inference fast path: no tape will be consumed, so run the
+            # identical arithmetic on raw arrays without building any
+            # autodiff objects at all.
+            return Tensor(self._forward_arrays(batch))
         hidden = self._encode(batch)
         if self.scheme == "staged":
             hidden = self._apply_stage(hidden, batch.ops_to_hw)
@@ -99,6 +124,158 @@ class CostreamGNN(Module):
             hidden = scatter_rows(hidden, rows, states)
         return hidden
 
+    # ------------------------------------------------------------------
+    # Array-only inference path (no autodiff objects)
+    # ------------------------------------------------------------------
+    def _forward_arrays(self, batch: GraphBatch) -> np.ndarray:
+        """Same computation as the taped forward, on plain ndarrays.
+
+        Every expression mirrors the Tensor ops one-to-one (same kernel,
+        same operand order), so outputs are bitwise identical to the
+        taped path in eval mode.
+        """
+        hidden_dim = self.hidden_dim
+        hidden = np.zeros((batch.n_nodes, hidden_dim))
+        for node_type, rows in batch.type_rows.items():
+            hidden[rows] = self.encoders[node_type].forward_array(
+                batch.type_features[node_type])
+        if self.scheme == "staged":
+            # Staged updates read post-update states anyway, and
+            # ``hidden`` is a local buffer — update it in place,
+            # following the flattened schedule cached on the batch.
+            combiners = self.combiners
+            for group in batch.stage_plan(hidden_dim):
+                for node_type, recv, src, flat_seg, n_recv in group:
+                    if src is not None:
+                        aggregated = _flat_scatter_add(
+                            flat_seg, hidden[src], n_recv)
+                    else:
+                        aggregated = np.zeros((n_recv, hidden_dim))
+                    combined = np.concatenate(
+                        [aggregated, hidden[recv]], axis=-1)
+                    hidden[recv] = \
+                        combiners[node_type].forward_array(combined)
+        else:
+            for _ in range(self.traditional_rounds):
+                hidden = self._apply_stage_arrays(hidden,
+                                                  batch.neighbor_rounds,
+                                                  simultaneous=True)
+        pooled = _flat_scatter_add(batch.flat_graph_id(self.hidden_dim),
+                                   hidden, batch.n_graphs)
+        return np.squeeze(self.readout.forward_array(pooled), axis=-1)
+
+    def _apply_stage_arrays(self, hidden: np.ndarray,
+                            slices: dict[str, StageSlice],
+                            simultaneous: bool = False) -> np.ndarray:
+        out = hidden.copy()
+        # Staged updates read the partially-updated states (the taped
+        # path re-points ``source`` after every slice); the traditional
+        # rounds read the pre-update states throughout.
+        source = hidden if simultaneous else out
+        for node_type, stage in slices.items():
+            if stage.recv_rows.size == 0:
+                continue
+            if stage.edge_src.size:
+                messages = source[stage.edge_src]
+                aggregated = _flat_scatter_add(
+                    stage.flat_seg(self.hidden_dim), messages,
+                    stage.recv_rows.size)
+            else:
+                aggregated = np.zeros((stage.recv_rows.size,
+                                       self.hidden_dim))
+            own = source[stage.recv_rows]
+            combined = np.concatenate([aggregated, own], axis=-1)
+            out[stage.recv_rows] = \
+                self.combiners[node_type].forward_array(combined)
+        return out
+
+    # ------------------------------------------------------------------
+    # Manual training step (tape-free forward + backward)
+    # ------------------------------------------------------------------
+    def supports_manual_step(self) -> bool:
+        """Whether :meth:`loss_and_grad` covers this configuration."""
+        dropout_active = any(
+            m.dropout is not None and m.dropout.rate > 0.0
+            for m in self._mlps())
+        return (self.scheme == "staged" and not dropout_active
+                and not _legacy_kernels_enabled())
+
+    def loss_and_grad(self, batch: GraphBatch, labels: np.ndarray,
+                      loss_kind: str) -> float:
+        """One training step without the autodiff tape.
+
+        Forward and backward are written out by hand for the staged
+        scheme, replaying the exact kernels of the taped path in the
+        exact reverse order the tape would execute, so the loss value
+        and every parameter gradient are bitwise identical to
+        ``loss.backward()`` — with none of the per-op bookkeeping.
+        Gradients accumulate into ``param.grad`` as usual.
+        """
+        hidden_dim = self.hidden_dim
+        hidden = np.zeros((batch.n_nodes, hidden_dim))
+        encode_cache = []
+        for node_type, rows in batch.type_rows.items():
+            out, cache = self.encoders[node_type].forward_array_cached(
+                batch.type_features[node_type])
+            hidden[rows] = out
+            encode_cache.append((node_type, rows, cache))
+
+        update_cache = []
+        for slices in (batch.ops_to_hw, batch.hw_to_ops,
+                       *batch.flow_levels):
+            for node_type, stage in slices.items():
+                if stage.recv_rows.size == 0:
+                    continue
+                if stage.edge_src.size:
+                    messages = hidden[stage.edge_src]
+                    aggregated = _flat_scatter_add(
+                        stage.flat_seg(hidden_dim), messages,
+                        stage.recv_rows.size)
+                else:
+                    aggregated = np.zeros((stage.recv_rows.size,
+                                           hidden_dim))
+                own = hidden[stage.recv_rows]
+                combined = np.concatenate([aggregated, own], axis=-1)
+                out, cache = self.combiners[node_type] \
+                    .forward_array_cached(combined)
+                hidden[stage.recv_rows] = out
+                update_cache.append((node_type, stage, cache))
+
+        pooled = _flat_scatter_add(batch.flat_graph_id(hidden_dim),
+                                   hidden, batch.n_graphs)
+        raw, readout_cache = self.readout.forward_array_cached(pooled)
+        pred = np.squeeze(raw, axis=-1)
+        loss_value, grad_pred = _loss_and_grad_arrays(pred, labels,
+                                                      loss_kind)
+
+        # Backward sweep: exact reverse of the forward op order.  Each
+        # hidden version's gradient receives its three contributions in
+        # the tape's order: scatter base (recv rows zeroed), own-state
+        # gather, then message aggregation.
+        grad_pooled = self.readout.backward_array(
+            grad_pred.reshape(-1, 1), readout_cache)
+        grad_hidden = grad_pooled[batch.graph_id]
+        for node_type, stage, cache in reversed(update_cache):
+            recv = stage.recv_rows
+            grad_updated = grad_hidden[recv]
+            grad_hidden[recv] = 0.0
+            grad_combined = self.combiners[node_type].backward_array(
+                grad_updated, cache)
+            grad_own = grad_combined[:, hidden_dim:]
+            grad_hidden += _scatter_add(recv, grad_own, batch.n_nodes)
+            if stage.edge_src.size:
+                grad_agg = grad_combined[:, :hidden_dim]
+                grad_hidden += _scatter_add(stage.edge_src,
+                                            grad_agg[stage.edge_seg],
+                                            batch.n_nodes)
+        for node_type, rows, cache in reversed(encode_cache):
+            self.encoders[node_type].backward_array(
+                grad_hidden[rows], cache, input_grad=False)
+        return loss_value
+
+    # ------------------------------------------------------------------
+    # Taped message passing (training path)
+    # ------------------------------------------------------------------
     def _apply_stage(self, hidden: Tensor,
                      slices: dict[str, StageSlice],
                      simultaneous: bool = False) -> Tensor:
@@ -108,9 +285,14 @@ class CostreamGNN(Module):
             if stage.recv_rows.size == 0:
                 continue
             if stage.edge_src.size:
-                messages = gather(source, stage.edge_src)
-                aggregated = segment_sum(messages, stage.edge_seg,
-                                         stage.recv_rows.size)
+                if _legacy_kernels_enabled():
+                    messages = gather(source, stage.edge_src)
+                    aggregated = segment_sum(messages, stage.edge_seg,
+                                             stage.recv_rows.size)
+                else:
+                    aggregated = gather_segment_sum(
+                        source, stage.edge_src, stage.edge_seg,
+                        stage.recv_rows.size)
             else:
                 aggregated = Tensor(np.zeros((stage.recv_rows.size,
                                               self.hidden_dim)))

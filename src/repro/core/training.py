@@ -14,10 +14,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn import Adam, Tensor, bce_with_logits_loss, clip_grad_norm, \
-    mse_loss, msle_loss
+    mse_loss, msle_loss, no_grad
 from ..simulator.result import METRIC_NAMES, REGRESSION_METRICS
 from .features import Featurizer
-from .graph import QueryGraph, collate
+from .graph import GraphBatch, QueryGraph, as_batches, collate
 from .model import CostreamGNN
 
 __all__ = ["TrainingConfig", "CostModel", "TrainingHistory"]
@@ -118,7 +118,10 @@ class CostModel:
             graphs = [graphs[i] for i in train_rows]
             labels = labels[train_rows]
 
-        optimizer = Adam(self.network.parameters(),
+        # The parameter list is static during training; walking the
+        # module tree once instead of once per mini-batch.
+        parameters = self.network.parameters()
+        optimizer = Adam(parameters,
                          lr=self.config.learning_rate,
                          weight_decay=self.config.weight_decay)
         best_val = float("inf")
@@ -134,6 +137,17 @@ class CostModel:
         if not self.is_regression and self.config.balance_classes:
             sample_pool = _oversampled_pool(labels)
 
+        # The validation mini-batches are identical every epoch;
+        # collate them once instead of rebuilding them per epoch.
+        val_pairs = self._paired_batches(val_graphs, val_labels)
+
+        # The manual (tape-free) step covers the default configuration;
+        # dropout, the traditional scheme and legacy kernels fall back
+        # to the taped autodiff path.  Both are bitwise identical.
+        loss_kind = self.config.loss
+        if loss_kind == "auto":
+            loss_kind = "msle" if self.is_regression else "bce"
+
         self.network.train()
         for epoch in range(budget):
             optimizer.lr = self.config.learning_rate * (
@@ -141,21 +155,27 @@ class CostModel:
             order = sample_pool[rng.permutation(len(sample_pool))]
             epoch_loss = 0.0
             n_batches = 0
+            manual_step = self.network.supports_manual_step()
             for start in range(0, len(order), self.config.batch_size):
                 rows = order[start:start + self.config.batch_size]
                 batch = collate([graphs[i] for i in rows])
-                output = self.network(batch)
-                loss = self._loss(output, labels[rows])
-                optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.network.parameters(),
-                               self.config.grad_clip)
+                if manual_step:
+                    optimizer.zero_grad()
+                    loss_value = self.network.loss_and_grad(
+                        batch, labels[rows], loss_kind)
+                else:
+                    output = self.network(batch)
+                    loss = self._loss(output, labels[rows])
+                    optimizer.zero_grad()
+                    loss.backward()
+                    loss_value = loss.item()
+                clip_grad_norm(parameters, self.config.grad_clip)
                 optimizer.step()
-                epoch_loss += loss.item()
+                epoch_loss += loss_value
                 n_batches += 1
             self.history.train_loss.append(epoch_loss / max(n_batches, 1))
 
-            val_loss = self.evaluate_loss(val_graphs, val_labels)
+            val_loss = self._loss_over_batches(val_pairs)
             self.history.val_loss.append(val_loss)
             if val_loss < best_val - 1e-6:
                 best_val = val_loss
@@ -176,35 +196,74 @@ class CostModel:
         return self.fit(graphs, labels, epochs=epochs)
 
     # ------------------------------------------------------------------
-    def evaluate_loss(self, graphs: list[QueryGraph],
-                      labels: np.ndarray) -> float:
+    def _paired_batches(self, graphs, labels: np.ndarray
+                        ) -> list[tuple[GraphBatch, np.ndarray]]:
+        """Collate (graphs, labels) into aligned evaluation batches."""
+        batches = as_batches(graphs, self.config.batch_size)
+        pairs = []
+        start = 0
+        for batch in batches:
+            pairs.append((batch, labels[start:start + batch.n_graphs]))
+            start += batch.n_graphs
+        return pairs
+
+    def _loss_over_batches(self, pairs: list[tuple[GraphBatch, np.ndarray]]
+                           ) -> float:
+        """Mean loss over pre-collated batches, without autodiff tape.
+
+        Restores the train/eval mode it found, so an evaluation never
+        leaves dropout disabled (or enabled) for the caller.
+        """
+        was_training = self.network.training
         self.network.eval()
         total = 0.0
         count = 0
-        batch_size = self.config.batch_size
-        for start in range(0, len(graphs), batch_size):
-            chunk = graphs[start:start + batch_size]
-            batch = collate(chunk)
-            output = self.network(batch)
-            loss = self._loss(output, labels[start:start + batch_size])
-            total += loss.item() * len(chunk)
-            count += len(chunk)
-        self.network.train()
+        with no_grad():
+            for batch, chunk_labels in pairs:
+                output = self.network(batch)
+                loss = self._loss(output, chunk_labels)
+                total += loss.item() * batch.n_graphs
+                count += batch.n_graphs
+        if was_training:
+            self.network.train()
         return total / max(count, 1)
 
-    def predict_raw(self, graphs: list[QueryGraph]) -> np.ndarray:
-        """Network outputs: log1p costs (regression) or logits."""
+    def evaluate_loss(self, graphs: list[QueryGraph] | GraphBatch,
+                      labels: np.ndarray) -> float:
+        """Mean loss on (graphs, labels); also accepts pre-collated
+        batches.  The network's train/eval mode is restored on exit."""
+        labels = np.asarray(labels, dtype=np.float64)
+        return self._loss_over_batches(self._paired_batches(graphs, labels))
+
+    def predict_raw(self, graphs) -> np.ndarray:
+        """Network outputs: log1p costs (regression) or logits.
+
+        ``graphs`` may be a list of :class:`QueryGraph` (collated here),
+        one :class:`GraphBatch`, or a list of pre-collated batches —
+        sharing one collation across ensemble members and metrics.
+        Runs in no-grad mode and restores the train/eval mode it found.
+        """
+        batches = as_batches(graphs, self.config.batch_size)
+        was_training = self.network.training
         self.network.eval()
         outputs: list[np.ndarray] = []
-        batch_size = self.config.batch_size
-        for start in range(0, len(graphs), batch_size):
-            batch = collate(graphs[start:start + batch_size])
-            outputs.append(np.atleast_1d(self.network(batch).numpy()))
+        with no_grad():
+            for batch in batches:
+                outputs.append(np.atleast_1d(self.network(batch).numpy()))
+        if was_training:
+            self.network.train()
         return np.concatenate(outputs)
 
-    def predict(self, graphs: list[QueryGraph]) -> np.ndarray:
+    def predict(self, graphs) -> np.ndarray:
         """Predictions in label space: costs, or class probabilities."""
-        raw = self.predict_raw(graphs)
+        return self.to_label_space(self.predict_raw(graphs))
+
+    def to_label_space(self, raw: np.ndarray) -> np.ndarray:
+        """Map raw network outputs (log1p costs or logits) to labels.
+
+        Shared by :meth:`predict` and the ensemble fast path so the
+        transform has exactly one definition.
+        """
         if self.is_regression and self.config.loss != "mse":
             return np.expm1(np.clip(raw, 0.0, 30.0))
         if self.is_regression:

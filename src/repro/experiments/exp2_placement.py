@@ -90,11 +90,13 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
 
 def _choose_with_costream(model, plan, cluster, candidates,
                           selectivities):
-    graphs = [model.build_graph(plan, c, cluster, selectivities)
-              for c in candidates]
-    latency = model.predict_metric("processing_latency", graphs)
-    feasible = (model.predict_metric("success", graphs) >= 0.5) \
-        & (model.predict_metric("backpressure", graphs) < 0.5)
+    # Featurize the plan once and collate once; the shared batches feed
+    # all three metric ensembles (see PERFORMANCE.md).
+    batches = model.collate_placements(plan, candidates, cluster,
+                                       selectivities)
+    latency = model.predict_metric("processing_latency", batches)
+    feasible = (model.predict_metric("success", batches) >= 0.5) \
+        & (model.predict_metric("backpressure", batches) < 0.5)
     order = np.argsort(latency)
     for index in order:
         if feasible[index]:

@@ -1,0 +1,450 @@
+"""Hot-path microbenchmarks: fast path vs. the pre-optimization code.
+
+Measures the three hot paths the fast-path PR optimized (see
+PERFORMANCE.md) against faithful replicas of the original code:
+
+* **collate** — vectorized batching vs. the retained per-node-loop
+  :func:`repro.core.collate_reference`;
+* **placement decision** — one end-to-end ``optimize`` call (enumerate
+  candidates, featurize, predict 3 metrics with a K-member ensemble,
+  rank) with shared featurization/batches and no-grad inference vs.
+  the original per-member re-collation with tape recording;
+* **training epoch** — one cost-model epoch with cached per-graph
+  arrays, vectorized collation and tape-free validation vs. the
+  original loop.
+
+The slow replicas intentionally mirror the seed implementations line
+by line — including the seed's substrate kernels, restored via
+:class:`repro.nn.autodiff.legacy_kernels` — so the reported speedups
+measure exactly the PR's changes, and both paths are checked to
+produce identical predictions (<= 1e-9).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..data.collection import BenchmarkCollector, QueryTrace
+from ..hardware.cluster import Cluster, sample_cluster
+from ..nn import Adam, clip_grad_norm
+from ..nn.autodiff import legacy_kernels
+from ..core.costream import Costream
+from ..core.dataset import GraphDataset
+from ..core.ensemble import MetricEnsemble
+from ..core.graph import (QueryGraph, build_graph, collate, collate_chunks,
+                          collate_reference)
+from ..core.training import CostModel, TrainingConfig
+from ..placement.enumeration import HeuristicPlacementEnumerator
+from ..placement.optimizer import PlacementOptimizer
+from ..query.generator import QueryGenerator
+from ..query.plan import QueryPlan
+from .scale import ExperimentScale, get_scale
+
+__all__ = ["run_hotpath_benchmarks", "EQUIVALENCE_TOLERANCE"]
+
+EQUIVALENCE_TOLERANCE = 1e-9
+
+_DECISION_METRICS = ("processing_latency", "success", "backpressure")
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _interleaved(fast_fn, slow_fn, repeats: int) -> tuple[float, float]:
+    """Best-of wall times of two competitors, sampled alternately.
+
+    Interleaving gives both sides equal exposure to background load;
+    taking the minimum is the standard microbenchmark estimator since
+    timing noise on a quiet run is strictly additive.
+    """
+    fast_times: list[float] = []
+    slow_times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fast_fn()
+        fast_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        slow_fn()
+        slow_times.append(time.perf_counter() - start)
+    return (float(np.min(fast_times)), float(np.min(slow_times)))
+
+
+# ----------------------------------------------------------------------
+# Slow-path replicas (faithful to the pre-PR implementations)
+# ----------------------------------------------------------------------
+def _slow_member_predict(member: CostModel,
+                         graphs: list[QueryGraph]) -> np.ndarray:
+    """Original ``CostModel.predict``: per-call chunked loop collation,
+    autodiff tape recorded and discarded."""
+    member.network.eval()
+    outputs = []
+    batch_size = member.config.batch_size
+    for start in range(0, len(graphs), batch_size):
+        batch = collate_reference(graphs[start:start + batch_size])
+        outputs.append(np.atleast_1d(member.network(batch).numpy()))
+    raw = np.concatenate(outputs)
+    if member.is_regression and member.config.loss != "mse":
+        return np.expm1(np.clip(raw, 0.0, 30.0))
+    if member.is_regression:
+        return np.maximum(raw, 0.0)
+    return 1.0 / (1.0 + np.exp(-raw))
+
+
+def _slow_ensemble_predict(ensemble: MetricEnsemble,
+                           graphs: list[QueryGraph]) -> np.ndarray:
+    """Original ``MetricEnsemble.predict``: every member re-collates."""
+    stacked = np.stack([_slow_member_predict(m, graphs)
+                        for m in ensemble.members])
+    if ensemble.is_regression:
+        return stacked.mean(axis=0)
+    votes = (stacked >= 0.5).sum(axis=0)
+    return (votes * 2 > len(ensemble.members)).astype(np.float64)
+
+
+def _slow_enumerate(enumerator: HeuristicPlacementEnumerator,
+                    plan: QueryPlan, k: int) -> list:
+    """The seed's candidate enumeration: frozenset-based eligibility
+    sets and sorted-item dedup keys.  Draws the same RNG sequence as
+    the shipped bitmask sampler, so candidates are identical."""
+    from ..hardware.placement import Placement
+    candidates = []
+    seen = set()
+    attempts = 0
+    while len(candidates) < k and attempts < k * 10:
+        attempts += 1
+        assignment: dict = {}
+        visited: dict = {}
+        for op_id in plan.topological_order():
+            parents = plan.parents(op_id)
+            eligible = enumerator._eligible_nodes(assignment, visited,
+                                                  parents)
+            choice = eligible[enumerator._rng.integers(len(eligible))]
+            assignment[op_id] = choice
+            upstream = frozenset().union(
+                *(visited[p] for p in parents)) if parents \
+                else frozenset()
+            visited[op_id] = upstream | {choice}
+        placement = Placement(assignment)
+        key = tuple(sorted(placement.items()))
+        if key not in seen:
+            seen.add(key)
+            candidates.append(placement)
+    return candidates
+
+
+def _slow_decision(model: Costream, plan: QueryPlan, cluster: Cluster,
+                   n_candidates: int, objective: str, seed: int
+                   ) -> tuple[int, np.ndarray, np.ndarray]:
+    """Original ``PlacementOptimizer.optimize``: per-candidate
+    featurization, then one collation per metric per ensemble member,
+    all on the seed's substrate kernels."""
+    with legacy_kernels():
+        enumerator = HeuristicPlacementEnumerator(cluster, seed=seed)
+        candidates = _slow_enumerate(enumerator, plan, n_candidates)
+        graphs = [build_graph(plan, candidate, cluster, model.featurizer)
+                  for candidate in candidates]
+        feasible = np.ones(len(graphs), dtype=bool)
+        if "success" in model.metrics:
+            feasible &= _slow_ensemble_predict(
+                model.ensembles["success"], graphs) >= 0.5
+        if "backpressure" in model.metrics:
+            feasible &= _slow_ensemble_predict(
+                model.ensembles["backpressure"], graphs) < 0.5
+        objective_values = _slow_ensemble_predict(
+            model.ensembles[objective], graphs)
+        order = np.argsort(objective_values)
+        feasible_order = [i for i in order if feasible[i]]
+        best = feasible_order[0] if feasible_order else int(order[0])
+        return int(best), objective_values, feasible
+
+
+def _fast_decision(model: Costream, plan: QueryPlan, cluster: Cluster,
+                   n_candidates: int, objective: str, seed: int
+                   ) -> tuple[int, np.ndarray, np.ndarray]:
+    """The shipped fast path, instrumented to return per-candidate
+    predictions for the equivalence check."""
+    enumerator = HeuristicPlacementEnumerator(cluster, seed=seed)
+    candidates = enumerator.enumerate(plan, n_candidates)
+    batches = model.collate_placements(plan, candidates, cluster)
+    feasible = np.ones(len(candidates), dtype=bool)
+    if "success" in model.metrics:
+        feasible &= model.predict_metric("success", batches) >= 0.5
+    if "backpressure" in model.metrics:
+        feasible &= model.predict_metric("backpressure", batches) < 0.5
+    objective_values = model.predict_metric(objective, batches)
+    order = np.argsort(objective_values)
+    feasible_order = [i for i in order if feasible[i]]
+    best = feasible_order[0] if feasible_order else int(order[0])
+    return int(best), objective_values, feasible
+
+
+def _slow_fit(metric: str, graphs: list[QueryGraph], labels: np.ndarray,
+              config: TrainingConfig, seed: int) -> list[float]:
+    """The original ``CostModel.fit`` loop: loop-based collation every
+    mini-batch, validation re-collated (with tape) every epoch, on the
+    seed's substrate kernels."""
+    with legacy_kernels():
+        return _slow_fit_inner(metric, graphs, labels, config, seed)
+
+
+def _slow_fit_inner(metric: str, graphs: list[QueryGraph],
+                    labels: np.ndarray, config: TrainingConfig,
+                    seed: int) -> list[float]:
+    model = CostModel(metric, config=config, seed=seed)
+    labels = np.asarray(labels, dtype=np.float64)
+    rng = np.random.default_rng(model.seed)
+    n_val = max(1, int(len(graphs) * config.val_fraction),
+                min(20, len(graphs) // 5))
+    order = rng.permutation(len(graphs))
+    val_rows, train_rows = order[:n_val], order[n_val:]
+    val_graphs = [graphs[i] for i in val_rows]
+    val_labels = labels[val_rows]
+    graphs = [graphs[i] for i in train_rows]
+    labels = labels[train_rows]
+
+    optimizer = Adam(model.network.parameters(), lr=config.learning_rate,
+                     weight_decay=config.weight_decay)
+    history: list[float] = []
+    sample_pool = np.arange(len(graphs))
+    best_val = float("inf")
+    best_state = model.network.state_dict()
+
+    model.network.train()
+    for epoch in range(config.epochs):
+        optimizer.lr = config.learning_rate * (
+            config.lr_decay ** (epoch // config.lr_decay_every))
+        epoch_order = sample_pool[rng.permutation(len(sample_pool))]
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, len(epoch_order), config.batch_size):
+            rows = epoch_order[start:start + config.batch_size]
+            batch = collate_reference([graphs[i] for i in rows])
+            output = model.network(batch)
+            loss = model._loss(output, labels[rows])
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.network.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_loss += loss.item()
+            n_batches += 1
+        history.append(epoch_loss / max(n_batches, 1))
+
+        # Original evaluate_loss: re-collate the same validation
+        # batches, forward with the tape recording.
+        model.network.eval()
+        total, count = 0.0, 0
+        for start in range(0, len(val_graphs), config.batch_size):
+            chunk = val_graphs[start:start + config.batch_size]
+            batch = collate_reference(chunk)
+            output = model.network(batch)
+            loss = model._loss(output,
+                               val_labels[start:start + config.batch_size])
+            total += loss.item() * len(chunk)
+            count += len(chunk)
+        model.network.train()
+        val_loss = total / max(count, 1)
+        if val_loss < best_val - 1e-6:
+            best_val = val_loss
+            best_state = model.network.state_dict()
+    model.network.load_state_dict(best_state)
+    model.network.eval()
+    return history
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def _bench_collate(graphs: list[QueryGraph], batch_size: int,
+                   repeats: int) -> dict:
+    chunk = graphs[:batch_size]
+    collate(chunk)  # warm the per-graph array caches once
+    fast, slow = _interleaved(lambda: collate(chunk),
+                              lambda: collate_reference(chunk), repeats)
+    return {
+        "batch_size": len(chunk),
+        "fast_s": fast,
+        "slow_s": slow,
+        "speedup": slow / max(fast, 1e-12),
+        "graphs_per_s_fast": len(chunk) / max(fast, 1e-12),
+        "graphs_per_s_slow": len(chunk) / max(slow, 1e-12),
+    }
+
+
+def _bench_decisions(scale: ExperimentScale, repeats: int,
+                     n_plans: int) -> dict:
+    """End-to-end placement decisions: enumerate + predict + rank.
+
+    Prediction latency does not depend on the trained weights, so the
+    models keep their random initialization — what matters is that the
+    fast and slow paths run the same networks on the same candidates.
+    """
+    config = TrainingConfig(hidden_dim=scale.hidden_dim)
+    model = Costream(metrics=_DECISION_METRICS,
+                     ensemble_size=scale.ensemble_size, config=config,
+                     seed=0)
+    for ensemble in model.ensembles.values():
+        for member in ensemble.members:
+            member.network.eval()
+    optimizer = PlacementOptimizer(model, objective="processing_latency")
+
+    rng = np.random.default_rng(17)
+    generator = QueryGenerator(seed=rng)
+    cases = [(generator.generate(),
+              sample_cluster(rng, int(rng.integers(4, 8))))
+             for _ in range(n_plans)]
+
+    fast_total, slow_total = 0.0, 0.0
+    max_delta = 0.0
+    decisions_agree = True
+    for index, (plan, cluster) in enumerate(cases):
+        fast_best, fast_obj, fast_ok = _fast_decision(
+            model, plan, cluster, scale.n_candidates,
+            "processing_latency", seed=index)
+        slow_best, slow_obj, slow_ok = _slow_decision(
+            model, plan, cluster, scale.n_candidates,
+            "processing_latency", seed=index)
+        max_delta = max(max_delta,
+                        float(np.max(np.abs(fast_obj - slow_obj))))
+        decisions_agree &= (fast_best == slow_best
+                            and bool(np.array_equal(fast_ok, slow_ok)))
+        optimizer.optimize(plan, cluster,
+                           n_candidates=scale.n_candidates,
+                           seed=index)  # warm-up outside the clock
+        fast_s, slow_s = _interleaved(
+            lambda: optimizer.optimize(plan, cluster,
+                                       n_candidates=scale.n_candidates,
+                                       seed=index),
+            lambda: _slow_decision(model, plan, cluster,
+                                   scale.n_candidates,
+                                   "processing_latency", seed=index),
+            repeats)
+        fast_total += fast_s
+        slow_total += slow_s
+    return {
+        "n_plans": len(cases),
+        "n_candidates": scale.n_candidates,
+        "ensemble_size": scale.ensemble_size,
+        "metrics_per_decision": len(_DECISION_METRICS),
+        "fast_s_per_decision": fast_total / len(cases),
+        "slow_s_per_decision": slow_total / len(cases),
+        "speedup": slow_total / max(fast_total, 1e-12),
+        "max_abs_prediction_delta": max_delta,
+        "decisions_agree": decisions_agree,
+    }
+
+
+def _bench_epoch(dataset: GraphDataset, scale: ExperimentScale,
+                 n_epochs: int, repeats: int = 3) -> dict:
+    graphs, labels = dataset.metric_view("processing_latency")
+    config = TrainingConfig(hidden_dim=scale.hidden_dim, epochs=n_epochs,
+                            patience=n_epochs + 1)
+
+    histories = {}
+
+    def run_fast():
+        model = CostModel("processing_latency", config=config, seed=0)
+        histories["fast"] = model.fit(graphs, labels).train_loss
+
+    def run_slow():
+        histories["slow"] = _slow_fit("processing_latency", graphs,
+                                      labels, config, seed=0)
+
+    fast_s, slow_s = _interleaved(run_fast, run_slow, repeats)
+    fast_s /= n_epochs
+    slow_s /= n_epochs
+
+    loss_delta = float(np.max(np.abs(
+        np.asarray(histories["fast"][:n_epochs])
+        - np.asarray(histories["slow"][:n_epochs]))))
+    return {
+        "n_graphs": len(graphs),
+        "n_epochs": n_epochs,
+        "fast_s_per_epoch": fast_s,
+        "slow_s_per_epoch": slow_s,
+        "speedup": slow_s / max(fast_s, 1e-12),
+        "max_abs_train_loss_delta": loss_delta,
+    }
+
+
+def run_hotpath_benchmarks(scale_name: str | None = None,
+                           seed: int = 7) -> dict:
+    """Run all hot-path benchmarks; returns the ``BENCH_hotpaths`` dict."""
+    scale = get_scale(scale_name)
+    sizes = {
+        "tiny": {"corpus": 120, "epochs": 2, "plans": 2, "repeats": 2},
+        "small": {"corpus": 400, "epochs": 3, "plans": 3, "repeats": 3},
+        "full": {"corpus": 600, "epochs": 3, "plans": 5, "repeats": 3},
+    }[scale.name]
+
+    import gc
+
+    # Decisions first, on a quiet heap: the corpus build below floods
+    # the allocator/GC with long-lived objects, which perturbs the
+    # tape-heavy slow path much more than the array-only fast path.
+    decision_result = _bench_decisions(scale,
+                                       repeats=sizes["repeats"] + 5,
+                                       n_plans=sizes["plans"])
+
+    collector = BenchmarkCollector(seed=seed)
+    traces = collector.collect(sizes["corpus"])
+    dataset = GraphDataset.from_traces(traces)
+
+    gc.collect()
+    collate_result = _bench_collate(dataset.graphs,
+                                    TrainingConfig().batch_size,
+                                    repeats=max(sizes["repeats"] * 3, 5))
+    gc.collect()
+    epoch_result = _bench_epoch(dataset, scale, n_epochs=sizes["epochs"])
+
+    max_delta = max(decision_result["max_abs_prediction_delta"],
+                    epoch_result["max_abs_train_loss_delta"])
+    return {
+        "benchmark": "hotpaths",
+        "scale": scale.name,
+        "collate": collate_result,
+        "placement_decision": decision_result,
+        "epoch": epoch_result,
+        "equivalence": {
+            "tolerance": EQUIVALENCE_TOLERANCE,
+            "max_abs_delta": max_delta,
+            "decisions_agree": decision_result["decisions_agree"],
+            "pass": bool(max_delta <= EQUIVALENCE_TOLERANCE
+                         and decision_result["decisions_agree"]),
+        },
+        "targets": {
+            "placement_decision_speedup": 5.0,
+            "epoch_speedup": 2.0,
+        },
+    }
+
+
+def profile_decision(scale_name: str | None = None, top: int = 20) -> None:
+    """cProfile one fast-path placement decision (``--profile`` flag)."""
+    import cProfile
+    import pstats
+
+    scale = get_scale(scale_name)
+    config = TrainingConfig(hidden_dim=scale.hidden_dim)
+    model = Costream(metrics=_DECISION_METRICS,
+                     ensemble_size=scale.ensemble_size, config=config)
+    optimizer = PlacementOptimizer(model, objective="processing_latency")
+    rng = np.random.default_rng(3)
+    plan = QueryGenerator(seed=rng).generate()
+    cluster = sample_cluster(rng, 6)
+    optimizer.optimize(plan, cluster, n_candidates=scale.n_candidates)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    optimizer.optimize(plan, cluster, n_candidates=scale.n_candidates)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)

@@ -6,10 +6,19 @@ from typing import Sequence
 
 import numpy as np
 
-from .autodiff import Tensor
+from .autodiff import Tensor, _legacy_kernels_enabled, _unbroadcast
 from . import init
 
 __all__ = ["Module", "Linear", "MLP", "Dropout"]
+
+
+def _accumulate_array(param: Tensor, grad: np.ndarray) -> None:
+    """Accumulate a raw gradient into ``param.grad`` exactly like
+    ``Tensor._accumulate`` (first touch copies, then ``+=``)."""
+    if param.grad is None:
+        param.grad = np.array(grad, dtype=np.float64)
+    else:
+        param.grad += grad
 
 
 class Module:
@@ -87,7 +96,25 @@ class Linear(Module):
         self.out_features = out_features
 
     def forward(self, x: Tensor) -> Tensor:
-        return x @ self.weight + self.bias
+        if _legacy_kernels_enabled():
+            return x @ self.weight + self.bias
+        # Fused affine op: one taped node instead of two.  The forward
+        # expression and the three gradient formulas are exactly those
+        # the matmul and add ops would have produced, so values and
+        # gradients are bitwise identical to the unfused path.
+        weight, bias = self.weight, self.bias
+        out_data = x.data @ weight.data + bias.data
+
+        def backward(grad):
+            x._accumulate(grad @ weight.data.T)
+            weight._accumulate(x.data.T @ grad)
+            bias._accumulate(_unbroadcast(grad, bias.shape))
+
+        return Tensor._make(out_data, (x, weight, bias), backward)
+
+    def forward_array(self, x):
+        """Inference-only fast path on a raw ndarray (same arithmetic)."""
+        return x @ self.weight.data + self.bias.data
 
 
 class Dropout(Module):
@@ -142,6 +169,15 @@ class MLP(Module):
             self.dropout.training = False
 
     def forward(self, x: Tensor) -> Tensor:
+        if (_legacy_kernels_enabled()
+                or (self.dropout is not None and self.training
+                    and self.dropout.rate > 0.0)):
+            # Per-op path: keeps the dropout RNG draw sequence (and the
+            # seed behavior under legacy kernels).
+            return self._forward_layerwise(x)
+        return self._forward_fused(x)
+
+    def _forward_layerwise(self, x: Tensor) -> Tensor:
         for i, layer in enumerate(self.layers):
             x = layer(x)
             if i < len(self.layers) - 1:
@@ -149,3 +185,88 @@ class MLP(Module):
                 if self.dropout is not None:
                     x = self.dropout(x)
         return x
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        """Whole-MLP fusion: one taped node for the full stack.
+
+        Forward values and every gradient formula replicate the per-op
+        tape exactly (same kernels, same order — see the relu mask and
+        ``_unbroadcast`` reuse), so results are bitwise identical while
+        skipping the per-op Tensor/closure bookkeeping.
+        """
+        layers = self.layers
+        activations = [x.data]
+        masks = []
+        h = x.data
+        for i, layer in enumerate(layers):
+            h = h @ layer.weight.data + layer.bias.data
+            if i < len(layers) - 1:
+                mask = h > 0.0
+                h = h * mask
+                masks.append(mask)
+                activations.append(h)
+        out_data = h
+
+        def backward(grad):
+            g = grad
+            for i in range(len(layers) - 1, -1, -1):
+                layer = layers[i]
+                layer.weight._accumulate(activations[i].T @ g)
+                layer.bias._accumulate(_unbroadcast(g, layer.bias.shape))
+                g = g @ layer.weight.data.T
+                if i > 0:
+                    g = g * masks[i - 1]
+            x._accumulate(g)
+
+        parents = [x]
+        for layer in layers:
+            parents.append(layer.weight)
+            parents.append(layer.bias)
+        return Tensor._make(out_data, parents, backward)
+
+    def forward_array(self, x):
+        """Eval-mode forward on a raw ndarray, skipping all autodiff
+        objects.  Matches :meth:`forward` in eval mode bit for bit
+        (``x * (x > 0)`` is the exact relu expression the Tensor op
+        uses); dropout is identity in eval mode so it is skipped."""
+        layers = self.layers
+        last = len(layers) - 1
+        for i, layer in enumerate(layers):
+            x = x @ layer.weight.data + layer.bias.data
+            if i < last:
+                x = x * (x > 0.0)
+        return x
+
+    def forward_array_cached(self, x):
+        """Like :meth:`forward_array`, returning the cache the manual
+        backward needs (layer inputs and relu masks)."""
+        activations = [x]
+        masks = []
+        for i, layer in enumerate(self.layers):
+            x = x @ layer.weight.data + layer.bias.data
+            if i < len(self.layers) - 1:
+                mask = x > 0.0
+                x = x * mask
+                masks.append(mask)
+                activations.append(x)
+        return x, (activations, masks)
+
+    def backward_array(self, grad, cache, input_grad: bool = True):
+        """Manual backward matching :meth:`_forward_fused` bit for bit.
+
+        Accumulates parameter gradients into ``.grad`` (first-touch
+        copy, then ``+=``, like the tape) and returns the input
+        gradient, or ``None`` with ``input_grad=False`` (encoder inputs
+        are leaves, so their gradient GEMM can be skipped)."""
+        activations, masks = cache
+        g = grad
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            _accumulate_array(layer.weight, activations[i].T @ g)
+            _accumulate_array(layer.bias, _unbroadcast(g, layer.bias.shape))
+            if i == 0 and not input_grad:
+                return None
+            g = g @ layer.weight.data.T
+            if i > 0:
+                g = g * masks[i - 1]
+        return g

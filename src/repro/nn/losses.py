@@ -45,3 +45,38 @@ def bce_with_logits_loss(logits: Tensor, target: np.ndarray) -> Tensor:
     softplus = ((-abs_x).exp() + 1.0).log()
     loss = relu_x - logits * target_t + softplus
     return loss.mean()
+
+
+# ----------------------------------------------------------------------
+# Array-mode loss + gradient (manual training step)
+# ----------------------------------------------------------------------
+def _loss_and_grad_arrays(pred: np.ndarray, target: np.ndarray,
+                          kind: str) -> tuple[float, np.ndarray]:
+    """(loss value, d loss / d pred) on raw arrays.
+
+    Replays the exact op chain (and backward accumulation order) of the
+    taped loss above, so both outputs are bitwise identical to
+    ``loss.item()`` / the tape's gradient into ``pred``.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    factor = 1.0 / pred.size
+    if kind in ("msle", "mse"):
+        reference = np.log1p(target) if kind == "msle" else target
+        diff = pred - reference
+        loss = (diff * diff).sum() * factor
+        # (d*d) routes the mean gradient to d through both operands.
+        half = factor * diff
+        return float(loss), half + half
+    if kind == "bce":
+        relu_x = pred * (pred > 0.0)
+        abs_x = np.abs(pred)
+        exp_term = np.exp(np.clip(-abs_x, -60.0, 60.0))
+        softplus = np.log(exp_term + 1.0)
+        loss = (relu_x - pred * target + softplus).sum() * factor
+        # Contributions in the tape's accumulation order: the relu
+        # mask, the product term, then the softplus chain.
+        grad = np.array(factor * (pred > 0.0))
+        grad += -factor * target
+        grad += -(factor / (exp_term + 1.0) * exp_term) * np.sign(pred)
+        return float(loss), grad
+    raise ValueError(f"unknown loss kind {kind!r}")

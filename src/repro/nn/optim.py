@@ -69,25 +69,37 @@ class Adam:
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Scratch buffers so step() allocates nothing; every in-place
+        # expression below computes exactly what the temporaries did.
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, s1, s2 in zip(self.params, self._m, self._v,
+                                       self._s1, self._s2):
             if param.grad is None:
                 continue
             grad = param.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=s1)
+            s1 *= 1.0 - self.beta2
+            v += s1
+            np.divide(m, bias1, out=s1)          # m_hat
+            np.divide(v, bias2, out=s2)          # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(s1, s2, out=s1)            # update
             if self.weight_decay:
-                update = update + self.weight_decay * param.data
-            param.data -= self.lr * update
+                np.multiply(param.data, self.weight_decay, out=s2)
+                s1 += s2
+            s1 *= self.lr
+            param.data -= s1
 
     def zero_grad(self) -> None:
         for param in self.params:

@@ -120,15 +120,18 @@ class BudgetedPlacementOptimizer:
                  seed: int = 0) -> BudgetDecision:
         enumerator = HeuristicPlacementEnumerator(cluster, seed=seed)
         candidates = enumerator.enumerate(plan, n_candidates)
-        graphs = [self.model.build_graph(plan, c, cluster, selectivities)
-                  for c in candidates]
-        latency = self.model.predict_metric("processing_latency", graphs)
+        # One plan featurization and one collation serve all three
+        # metric predictions (see PERFORMANCE.md).
+        batches = self.model.collate_placements(plan, candidates, cluster,
+                                                selectivities)
+        latency = self.model.predict_metric("processing_latency", batches)
         feasible = np.ones(len(candidates), dtype=bool)
         if "success" in self.model.metrics:
-            feasible &= self.model.predict_metric("success", graphs) >= 0.5
+            feasible &= self.model.predict_metric("success",
+                                                  batches) >= 0.5
         if "backpressure" in self.model.metrics:
             feasible &= self.model.predict_metric("backpressure",
-                                                  graphs) < 0.5
+                                                  batches) < 0.5
         if self.latency_budget_ms is not None:
             feasible &= latency <= self.latency_budget_ms
 

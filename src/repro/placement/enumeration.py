@@ -36,35 +36,87 @@ class HeuristicPlacementEnumerator:
         self._score = {n.node_id: capability_score(n, ranges)
                        for n in cluster.nodes}
         self._strongest = max(cluster.node_ids, key=self._score.get)
+        # Bitmask tables for the sampling hot path: node i of
+        # ``node_ids`` is bit ``1 << i``; visited sets become ints.
+        self._node_ids = list(cluster.node_ids)
+        self._bin_list = [self._bins[n] for n in self._node_ids]
+        self._strongest_index = self._node_ids.index(self._strongest)
 
     # ------------------------------------------------------------------
     def sample(self, plan: QueryPlan) -> Placement:
-        """Sample one random valid placement candidate."""
-        assignment: dict[str, str] = {}
-        visited: dict[str, frozenset[str]] = {}
+        """Sample one random valid placement candidate.
+
+        Operates on node-index bitmasks (visited sets per branch are
+        ints), which keeps candidate enumeration off the placement
+        optimizer's critical path; eligibility sets, and therefore the
+        RNG draw sequence, are identical to the set-based rules in
+        :meth:`_eligible_nodes`.
+        """
+        assignment = self._sample_indices(plan, {})
+        return Placement({op: self._node_ids[i]
+                          for op, i in assignment.items()})
+
+    def _sample_indices(self, plan: QueryPlan,
+                        eligible_cache: dict) -> dict[str, int]:
+        """One candidate as op -> node-index (see :meth:`sample`).
+
+        ``eligible_cache`` maps (min_bin, forbidden-mask) to the
+        eligibility list — it is a pure function of that pair, so
+        repeated samples of the same plan (``enumerate``) reuse it.
+        """
+        node_ids = self._node_ids
+        bins = self._bin_list
+        all_nodes = range(len(node_ids))
+        assignment: dict[str, int] = {}      # op -> node index
+        visited: dict[str, int] = {}         # op -> visited bitmask
         for op_id in plan.topological_order():
             parents = plan.parents(op_id)
-            eligible = self._eligible_nodes(assignment, visited, parents)
+            upstream = 0
+            if not parents:
+                eligible = list(all_nodes)
+            else:
+                min_bin = max(bins[assignment[p]] for p in parents)
+                # Forbidden: visited anywhere upstream except as the
+                # direct predecessor's current node (co-location).
+                forbidden = 0
+                for p in parents:
+                    mask = visited[p]
+                    upstream |= mask
+                    forbidden |= mask & ~(1 << assignment[p])
+                eligible = eligible_cache.get((min_bin, forbidden))
+                if eligible is None:
+                    eligible = [i for i in all_nodes
+                                if bins[i] >= min_bin
+                                and not (forbidden >> i) & 1]
+                    if not eligible:
+                        eligible = [self._strongest_index]
+                    eligible_cache[(min_bin, forbidden)] = eligible
             choice = eligible[self._rng.integers(len(eligible))]
             assignment[op_id] = choice
-            upstream = frozenset().union(
-                *(visited[p] for p in parents)) if parents else frozenset()
-            visited[op_id] = upstream | {choice}
-        return Placement(assignment)
+            visited[op_id] = upstream | (1 << choice)
+        return assignment
 
     def enumerate(self, plan: QueryPlan, k: int,
                   max_attempts_factor: int = 10) -> list[Placement]:
-        """Up to ``k`` distinct candidates (duplicates are discarded)."""
+        """Up to ``k`` distinct candidates (duplicates are discarded).
+
+        Deduplicates on the node-index tuple (operators are visited in
+        a fixed order, so the tuple identifies the mapping) and builds
+        a :class:`Placement` only for fresh candidates.
+        """
+        node_ids = self._node_ids
         candidates: list[Placement] = []
-        seen: set[tuple[tuple[str, str], ...]] = set()
+        seen: set[tuple[int, ...]] = set()
+        eligible_cache: dict = {}
         attempts = 0
         while len(candidates) < k and attempts < k * max_attempts_factor:
             attempts += 1
-            placement = self.sample(plan)
-            key = tuple(sorted(placement.items()))
+            assignment = self._sample_indices(plan, eligible_cache)
+            key = tuple(assignment.values())
             if key not in seen:
                 seen.add(key)
-                candidates.append(placement)
+                candidates.append(Placement(
+                    {op: node_ids[i] for op, i in assignment.items()}))
         return candidates
 
     def default_placement(self, plan: QueryPlan) -> Placement:

@@ -15,7 +15,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for typing
     from ..core.costream import Costream
-from ..core.graph import QueryGraph
+from ..core.graph import GraphBatch
 from ..hardware.cluster import Cluster
 from ..hardware.placement import Placement
 from ..query.plan import QueryPlan
@@ -67,12 +67,15 @@ class PlacementOptimizer:
         candidates = enumerator.enumerate(plan, n_candidates)
         if not candidates:
             raise ValueError("placement enumeration yielded no candidates")
-        graphs = [self.model.build_graph(plan, candidate, cluster,
-                                         selectivities)
-                  for candidate in candidates]
+        # Fast path: featurize the plan and hosts once, assemble the
+        # candidate batches directly, and share them across every
+        # metric ensemble and member (3 metrics x K members reuse them).
+        batches = self.model.collate_placements(plan, candidates, cluster,
+                                                selectivities)
 
-        feasible = self._feasibility_mask(graphs)
-        objective_values = self.model.predict_metric(self.objective, graphs)
+        feasible = self._feasibility_mask(batches)
+        objective_values = self.model.predict_metric(self.objective,
+                                                     batches)
         maximize = self.objective in _MAXIMIZE
         order = np.argsort(objective_values)
         if maximize:
@@ -89,12 +92,20 @@ class PlacementOptimizer:
             feasible_candidates=n_feasible)
 
     # ------------------------------------------------------------------
-    def _feasibility_mask(self, graphs: list[QueryGraph]) -> np.ndarray:
-        """Success AND no-backpressure, via ensemble majority vote."""
-        feasible = np.ones(len(graphs), dtype=bool)
+    def _feasibility_mask(self, batches: list[GraphBatch]) -> np.ndarray:
+        """Success AND no-backpressure, via ensemble majority vote.
+
+        Accepts pre-collated batches (or raw graphs) so one collation
+        serves both feasibility metrics and the objective.
+        """
+        n_graphs = sum(b.n_graphs for b in batches) \
+            if batches and isinstance(batches[0], GraphBatch) \
+            else len(batches)
+        feasible = np.ones(n_graphs, dtype=bool)
         if "success" in self.model.metrics:
-            feasible &= self.model.predict_metric("success", graphs) >= 0.5
+            feasible &= self.model.predict_metric("success",
+                                                  batches) >= 0.5
         if "backpressure" in self.model.metrics:
             feasible &= self.model.predict_metric("backpressure",
-                                                  graphs) < 0.5
+                                                  batches) < 0.5
         return feasible

@@ -211,3 +211,50 @@ def test_segment_sum_preserves_total(n_rows, n_segments):
     out = segment_sum(Tensor(data), segments, n_segments)
     np.testing.assert_allclose(out.numpy().sum(axis=0), data.sum(axis=0),
                                atol=1e-12)
+
+
+class TestNoGrad:
+    def test_no_tape_inside_context(self):
+        from repro.nn import is_grad_enabled, no_grad
+        x = Tensor(np.asarray([1.0, 2.0]), requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (x * 3.0 + 1.0).relu().sum()
+            assert not out.requires_grad
+            assert out._parents == ()
+            assert out._backward is None
+        assert is_grad_enabled()
+
+    def test_values_identical_to_recording_path(self):
+        from repro.nn import no_grad
+        x = Tensor(np.linspace(-2, 2, 7), requires_grad=True)
+        recorded = ((x * 2.0).tanh() ** 2).mean()
+        with no_grad():
+            silent = ((x * 2.0).tanh() ** 2).mean()
+        np.testing.assert_array_equal(recorded.numpy(), silent.numpy())
+
+    def test_backward_raises_inside_no_grad_result(self):
+        from repro.nn import no_grad
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (x * 2.0).sum()
+        with pytest.raises(ValueError):
+            out.backward()
+
+    def test_nested_contexts_restore_state(self):
+        from repro.nn import is_grad_enabled, no_grad
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_tape_resumes_after_context(self):
+        from repro.nn import no_grad
+        x = Tensor(np.asarray([1.0, 2.0]), requires_grad=True)
+        with no_grad():
+            (x * 5.0).sum()
+        out = (x * 5.0).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
