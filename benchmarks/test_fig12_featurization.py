@@ -6,11 +6,20 @@ Expected shape: monotone improvement from query-only to the full
 scheme.
 """
 
+import pytest
+
 from _harness import run_once
 
 from repro.experiments import run_featurization
 
 
+# Pre-existing seed failure: the "+ hardware features" mode does not
+# reliably beat "query nodes only" at reproduction scale.  Quarantined
+# (non-strict, so an accidental pass stays green) per ISSUE 2 so the
+# nightly benchmark workflow can run the full suite green; remove the
+# marker once the featurization ablation is fixed.
+@pytest.mark.xfail(strict=False,
+                   reason="pre-existing seed failure, see ISSUE 2")
 def test_fig12_featurization(benchmark, context, report, shape_checks):
     rows = run_once(benchmark, lambda: run_featurization(context))
     report(rows, "Fig. 12 — featurization ablation (E2E-latency)")

@@ -54,12 +54,17 @@ def main(argv: list[str] | None = None) -> int:
 
     decision = results["placement_decision"]
     epoch = results["epoch"]
+    ensemble = results["ensemble_batched"]
     print(f"scale={results['scale']}")
     print(f"collate:   {results['collate']['speedup']:6.1f}x "
           f"({results['collate']['graphs_per_s_fast']:,.0f} graphs/s)")
     print(f"decision:  {decision['speedup']:6.1f}x "
           f"({1e3 * decision['fast_s_per_decision']:.1f} ms/decision, "
           f"{decision['n_candidates']} candidates)")
+    print(f"ensemble:  {ensemble['speedup']:6.1f}x batched-GEMM "
+          f"(K={ensemble['ensemble_size']}, "
+          f"float32 {ensemble['float32_speedup']:.1f}x, "
+          f"rel delta {ensemble['float32_max_rel_delta']:.1e})")
     print(f"epoch:     {epoch['speedup']:6.1f}x "
           f"({epoch['fast_s_per_epoch']:.2f} s/epoch, "
           f"{epoch['n_graphs']} graphs)")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``BENCH_hotpaths.json``.
+
+Usage::
+
+    python scripts/check_perf_regression.py --fresh fresh.json \
+        [--baseline BENCH_hotpaths.json] \
+        [--decision-floor 5.0] [--epoch-floor 2.0] [--collate-floor 2.0] \
+        [--ensemble-floor 0.8] [--tolerance 1e-9]
+
+Compares a freshly measured benchmark JSON against the committed
+baseline and **fails (exit 1)** when
+
+* the placement-decision / epoch / collate speedups drop below the
+  ROADMAP floors (>= 5x / >= 2x / >= 2x by default — override per
+  runner: hosted CI runs the tiny scale on noisy hardware and passes
+  relaxed floors; the nightly enforces the full floors at small scale),
+* the batched-GEMM ensemble path regresses below ``--ensemble-floor``
+  (1.0 means parity with the per-member loop),
+* the fast path stops being numerically equivalent to the slow-path
+  replicas (``max_abs_delta`` > ``--tolerance``, decisions disagree, or
+  the recorded equivalence verdict is False), or
+* float32 inference drifts beyond the tolerance recorded in the
+  benchmark itself (``ensemble_batched.float32_tolerance``).
+
+The baseline is used for drift *reporting*: every metric is printed as
+``fresh vs baseline`` so a regression that still clears the floor is
+visible in the CI log before it becomes a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _speedup(results: dict, section: str) -> float:
+    return float(results.get(section, {}).get("speedup", 0.0))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured benchmark JSON")
+    parser.add_argument("--baseline", default="BENCH_hotpaths.json",
+                        help="committed baseline JSON (drift reporting)")
+    parser.add_argument("--decision-floor", type=float, default=5.0)
+    parser.add_argument("--epoch-floor", type=float, default=2.0)
+    parser.add_argument("--collate-floor", type=float, default=2.0)
+    parser.add_argument("--ensemble-floor", type=float, default=0.8)
+    parser.add_argument("--tolerance", type=float, default=1e-9)
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline_path = Path(args.baseline)
+    baseline = (json.loads(baseline_path.read_text())
+                if baseline_path.exists() else {})
+
+    floors = {
+        "placement_decision": args.decision_floor,
+        "epoch": args.epoch_floor,
+        "collate": args.collate_floor,
+        "ensemble_batched": args.ensemble_floor,
+    }
+    failures: list[str] = []
+
+    # Drift ratios only mean something when both runs used the same
+    # scale preset; a tiny-scale CI run against the committed
+    # small-scale baseline still gates on the floors, but cross-scale
+    # speedup ratios would read as phantom regressions.
+    same_scale = fresh.get("scale") == baseline.get("scale")
+    print(f"perf gate: fresh={args.fresh} (scale="
+          f"{fresh.get('scale', '?')}) vs baseline={args.baseline} "
+          f"(scale={baseline.get('scale', '?')})")
+    if baseline and not same_scale:
+        print("  (scales differ: drift column suppressed, floors "
+              "still apply)")
+    for section, floor in floors.items():
+        speedup = _speedup(fresh, section)
+        base = _speedup(baseline, section)
+        drift = (f"{speedup / base:5.2f}x of baseline"
+                 if base and same_scale else "drift n/a")
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"  {section:<20} {speedup:6.2f}x (floor {floor:.1f}x, "
+              f"baseline {base:.2f}x, {drift}) {status}")
+        if speedup < floor:
+            failures.append(
+                f"{section} speedup {speedup:.2f}x below floor "
+                f"{floor:.1f}x")
+
+    equivalence = fresh.get("equivalence", {})
+    delta = float(equivalence.get("max_abs_delta", float("inf")))
+    print(f"  equivalence          max|delta|={delta:.2e} "
+          f"(tolerance {args.tolerance:.0e}) "
+          f"{'ok' if delta <= args.tolerance else 'FAIL'}")
+    if delta > args.tolerance:
+        failures.append(f"equivalence delta {delta:.2e} exceeds "
+                        f"{args.tolerance:.0e}")
+    if not equivalence.get("decisions_agree", False):
+        failures.append("fast/slow placement decisions disagree")
+    if not equivalence.get("pass", False):
+        failures.append("benchmark equivalence verdict is False")
+
+    ensemble = fresh.get("ensemble_batched", {})
+    if not ensemble:
+        failures.append("fresh results lack the ensemble_batched entry")
+    else:
+        f64_delta = float(ensemble.get("float64_max_abs_delta",
+                                       float("inf")))
+        if f64_delta > args.tolerance:
+            failures.append(
+                f"float64 batched-GEMM delta {f64_delta:.2e} exceeds "
+                f"{args.tolerance:.0e}")
+        f32_delta = float(ensemble.get("float32_max_rel_delta",
+                                       float("inf")))
+        f32_budget = float(ensemble.get("float32_tolerance", 0.0))
+        print(f"  float32              rel delta={f32_delta:.2e} "
+              f"(tolerance {f32_budget:.0e}) "
+              f"{'ok' if f32_delta <= f32_budget else 'FAIL'}")
+        if f32_delta > f32_budget:
+            failures.append(
+                f"float32 rel delta {f32_delta:.2e} exceeds "
+                f"{f32_budget:.0e}")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,8 @@ processing latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..hardware.cluster import Cluster
 from ..hardware.node import capability_score

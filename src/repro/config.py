@@ -7,7 +7,7 @@ extrapolation over hardware) construct modified copies of these ranges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["HardwareRanges", "WorkloadRanges", "default_hardware_ranges",
            "default_workload_ranges"]

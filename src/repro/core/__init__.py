@@ -10,7 +10,7 @@ from .graph import (GraphBatch, PlanFeatures, QueryGraph, as_batches,
                     featurize_plan)
 from .metrics import (balance_classes, classification_accuracy, q_error,
                       q_error_percentiles)
-from .model import CostreamGNN, MESSAGE_SCHEMES
+from .model import CostreamGNN, MemberStack, MESSAGE_SCHEMES
 from .persistence import load_costream, save_costream
 from .training import CostModel, TrainingConfig, TrainingHistory
 
@@ -21,7 +21,8 @@ __all__ = [
     "collate_reference",
     "as_batches", "PlanFeatures", "featurize_plan", "featurize_hosts",
     "balance_classes", "classification_accuracy",
-    "q_error", "q_error_percentiles", "CostreamGNN", "MESSAGE_SCHEMES",
+    "q_error", "q_error_percentiles", "CostreamGNN", "MemberStack",
+    "MESSAGE_SCHEMES",
     "CostModel", "TrainingConfig", "TrainingHistory", "load_costream",
     "save_costream",
 ]

@@ -101,8 +101,9 @@ class Costream:
 
     def collate_placements(self, plan: QueryPlan,
                            placements: list[Placement], cluster: Cluster,
-                           selectivities: dict[str, float] | None = None
-                           ) -> list[GraphBatch]:
+                           selectivities: dict[str, float] | None = None,
+                           host_features: dict[str, np.ndarray]
+                           | None = None) -> list[GraphBatch]:
         """Batches for many candidate placements of one plan.
 
         The placement-optimization hot path: featurizes the plan and
@@ -111,6 +112,11 @@ class Costream:
         per-candidate graph objects entirely.  Query-only featurization
         and partial placements fall back to ``build_graphs`` +
         ``collate_chunks``; batches are identical either way.
+
+        ``host_features`` optionally passes pre-featurized hosts
+        (:func:`repro.core.graph.featurize_hosts`) so callers scoring
+        many *plans* on one cluster — the reordering optimizer —
+        featurize the hosts once overall instead of once per plan.
         """
         batch_size = self.config.batch_size
         n_ops = len(plan)
@@ -121,7 +127,8 @@ class Costream:
         if direct:
             plan_features = featurize_plan(plan, self.featurizer,
                                            selectivities)
-            host_features = featurize_hosts(cluster, self.featurizer)
+            if host_features is None:
+                host_features = featurize_hosts(cluster, self.featurizer)
             return [collate_candidates(plan_features,
                                        placements[start:start
                                                   + batch_size],
@@ -138,7 +145,11 @@ class Costream:
         """Predict all cost metrics of one placed query.
 
         The query is featurized and collated exactly once; the same
-        :class:`GraphBatch` feeds every metric ensemble and member.
+        :class:`GraphBatch` feeds every metric ensemble, and each
+        ensemble runs ONE batched-GEMM forward over its stacked member
+        weights (float32 under
+        :class:`repro.nn.float32_inference`) instead of K sequential
+        member forwards.
         """
         graph = self.build_graph(plan, placement, cluster, selectivities)
         batch = collate([graph])

@@ -20,8 +20,8 @@ import numpy as np
 
 from ..hardware.node import HardwareNode
 from ..query.datatypes import DataType
-from ..query.operators import (Filter, Operator, OperatorKind, Sink, Source,
-                               Window, WindowedAggregate, WindowedJoin)
+from ..query.operators import (Filter, Operator, OperatorKind, Source, Window,
+                               WindowedAggregate, WindowedJoin)
 from ..query.plan import QueryPlan
 
 __all__ = ["Featurizer", "NODE_TYPES", "FEATURE_MODES"]

@@ -183,6 +183,81 @@ class GraphBatch:
             self.__dict__["_flat_gid"] = cached
         return cached[1]
 
+    def cast_type_features(self, dtype) -> dict[str, np.ndarray]:
+        """Per-type feature matrices in ``dtype``, cached on the batch.
+
+        float64 (the native dtype) returns the originals; float32
+        requests cast once and are reused by every ensemble/metric that
+        shares this batch — mixing dtypes into a GEMM would silently
+        upcast it back to float64.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self.type_features
+        cached = self.__dict__.get("_cast_features")
+        if cached is None or cached[0] != dtype:
+            cached = (dtype, {node_type: features.astype(dtype)
+                              for node_type, features
+                              in self.type_features.items()})
+            self.__dict__["_cast_features"] = cached
+        return cached[1]
+
+    def member_stage_plan(self, width: int, size: int) -> list[list[tuple]]:
+        """:meth:`stage_plan` tiled over ``size`` ensemble members,
+        cached per (width, size).
+
+        The batched member forward keeps its hidden states in one
+        ``(size * n_nodes, width)`` buffer so every gather/scatter is a
+        fast axis-0 fancy index; node rows are therefore tiled with a
+        per-member offset of ``n_nodes`` (member ``k`` owns rows ``[k *
+        n_nodes, (k + 1) * n_nodes)``), and the scatter-add flat
+        indices with ``n_recv * width`` (see
+        :func:`repro.nn.autodiff.stacked_flat_scatter_add`).  Entries
+        are ``(node_type, tiled_recv, tiled_src, tiled_flat_seg,
+        n_recv)`` with ``tiled_src``/``tiled_flat_seg`` ``None`` for
+        edgeless receivers.
+        """
+        cached = self.__dict__.get("_member_plan")
+        if cached is None or cached[0] != (width, size):
+            plan = []
+            for group in self.stage_plan(width):
+                tiled_group = []
+                for node_type, recv, src, flat_seg, n_recv in group:
+                    tiled_group.append((
+                        node_type,
+                        _tile_members(recv, self.n_nodes, size),
+                        _tile_members(src, self.n_nodes, size)
+                        if src is not None else None,
+                        _tile_members(flat_seg, n_recv * width, size)
+                        if src is not None else None,
+                        n_recv))
+                plan.append(tiled_group)
+            cached = ((width, size), plan)
+            self.__dict__["_member_plan"] = cached
+        return cached[1]
+
+    def member_type_rows(self, size: int) -> dict[str, np.ndarray]:
+        """:attr:`type_rows` tiled over ``size`` members (cached),
+        indexing the ``(size * n_nodes, width)`` hidden buffer."""
+        cached = self.__dict__.get("_member_type_rows")
+        if cached is None or cached[0] != size:
+            cached = (size, {node_type: _tile_members(rows, self.n_nodes,
+                                                      size)
+                             for node_type, rows
+                             in self.type_rows.items()})
+            self.__dict__["_member_type_rows"] = cached
+        return cached[1]
+
+    def member_flat_graph_id(self, width: int, size: int) -> np.ndarray:
+        """:meth:`flat_graph_id` tiled over ``size`` members (cached)."""
+        cached = self.__dict__.get("_member_flat_gid")
+        if cached is None or cached[0] != (width, size):
+            flat = _tile_members(self.flat_graph_id(width),
+                                 self.n_graphs * width, size)
+            cached = ((width, size), flat)
+            self.__dict__["_member_flat_gid"] = cached
+        return cached[1]
+
     def stage_plan(self, width: int) -> list[list[tuple]]:
         """Flattened staged-update schedule, cached per batch.
 
@@ -211,6 +286,17 @@ class GraphBatch:
             cached = (width, plan)
             self.__dict__["_stage_plan"] = cached
         return cached[1]
+
+
+def _tile_members(flat_index: np.ndarray, stride: int,
+                  size: int) -> np.ndarray:
+    """Tile a flat scatter index across ``size`` members.
+
+    Member ``k`` gets ``flat_index + k * stride``; the result indexes a
+    ``(size * stride,)`` accumulation buffer.
+    """
+    return (np.arange(size, dtype=np.int64)[:, None] * stride
+            + flat_index[None, :]).ravel()
 
 
 @dataclass(frozen=True)

@@ -22,31 +22,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import MLP, Module, Tensor, concat, gather, scatter_rows, \
-    segment_sum
+from ..nn import MLP, Module, StackedMLP, Tensor, concat, gather, \
+    scatter_rows, segment_sum
 from ..nn.autodiff import (_legacy_kernels_enabled, _scatter_add,
-                           gather_segment_sum, is_grad_enabled)
+                           flat_scatter_add as _flat_scatter_add,
+                           gather_segment_sum, is_grad_enabled,
+                           stacked_flat_scatter_add)
 from ..nn.losses import _loss_and_grad_arrays
 from .features import Featurizer, NODE_TYPES
 from .graph import GraphBatch, StageSlice
 
-__all__ = ["CostreamGNN", "MESSAGE_SCHEMES"]
+__all__ = ["CostreamGNN", "MemberStack", "MESSAGE_SCHEMES"]
 
 MESSAGE_SCHEMES = ("staged", "traditional")
-
-
-def _flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
-                      n_rows: int) -> np.ndarray:
-    """Scatter-add of (E, width) values with a precomputed flat index.
-
-    Same bincount kernel (and bitwise-identical accumulation order) as
-    :func:`repro.nn.autodiff._scatter_add`, minus the per-call index
-    construction — the index is cached on the batch's stage slices.
-    """
-    width = values.shape[-1]
-    out = np.bincount(flat_index, weights=values.ravel(),
-                      minlength=n_rows * width)
-    return out.reshape(n_rows, width)
 
 
 class CostreamGNN(Module):
@@ -303,3 +291,108 @@ class CostreamGNN(Module):
             if not simultaneous:
                 source = hidden
         return hidden
+
+
+class MemberStack:
+    """K ensemble members' weights stacked for batched-GEMM inference.
+
+    Where :meth:`CostreamGNN._forward_arrays` runs one member's staged
+    forward on ``(n, d)`` activations, this runs every member at once
+    on ``(K, n, d)`` stacks: every encoder/combiner/readout GEMM is a
+    single ``np.matmul`` over stacked weights
+    (:class:`repro.nn.StackedMLP`), and the message scatter-adds are
+    one member-tiled bincount
+    (:func:`repro.nn.autodiff.stacked_flat_scatter_add`).  Each
+    batched kernel is bitwise identical per member to the per-member
+    kernel, so with float64 stacks :meth:`forward_arrays` equals
+    stacking K :meth:`CostreamGNN._forward_arrays` calls bit for bit —
+    the equivalence `tests/test_ensemble_batched.py` asserts.
+
+    A stack is a read-only *snapshot* of the member weights (copied,
+    and cast once when ``dtype`` is float32).  Only the ``staged``
+    scheme is supported — callers gate on
+    :meth:`MetricEnsemble._supports_batched` and fall back to the
+    per-member reference otherwise.
+    """
+
+    def __init__(self, networks: list[CostreamGNN],
+                 dtype=np.float64):
+        if not networks:
+            raise ValueError("cannot stack an empty list of networks")
+        template = networks[0]
+        for network in networks[1:]:
+            if (network.hidden_dim != template.hidden_dim
+                    or network.scheme != template.scheme
+                    or set(network.encoders) != set(template.encoders)):
+                raise ValueError(
+                    "cannot stack networks with mismatched "
+                    "architectures")
+        if template.scheme != "staged":
+            raise ValueError(
+                f"MemberStack supports the 'staged' scheme only, "
+                f"got {template.scheme!r}")
+        self.size = len(networks)
+        self.hidden_dim = template.hidden_dim
+        self.dtype = np.dtype(dtype)
+        self.encoders = {
+            node_type: StackedMLP.from_mlps(
+                [n.encoders[node_type] for n in networks], self.dtype)
+            for node_type in template.encoders}
+        self.combiners = {
+            node_type: StackedMLP.from_mlps(
+                [n.combiners[node_type] for n in networks], self.dtype)
+            for node_type in template.combiners}
+        self.readout = StackedMLP.from_mlps(
+            [n.readout for n in networks], self.dtype)
+
+    def _aggregate(self, flat_index: np.ndarray, values: np.ndarray,
+                   n_rows: int) -> np.ndarray:
+        """Member-stacked scatter-add, cast back to the stack dtype.
+
+        ``np.bincount`` always accumulates in float64; the float32 mode
+        therefore aggregates messages in float64 and casts the (small)
+        per-receiver sums back — the GEMMs, which dominate, stay in
+        float32.
+        """
+        out = stacked_flat_scatter_add(flat_index, values, n_rows)
+        if self.dtype != np.float64:
+            out = out.astype(self.dtype)
+        return out
+
+    def forward_arrays(self, batch: GraphBatch) -> np.ndarray:
+        """All members' raw outputs for one batch: ``(K, n_graphs)``.
+
+        The K members' hidden states live in one ``(K * n_nodes,
+        hidden_dim)`` buffer (member ``k`` owns the rows ``[k * n_nodes,
+        (k + 1) * n_nodes)``): gathers and scatters are single axis-0
+        fancy indexes over member-tiled row indices cached on the batch,
+        and only the GEMM inputs are viewed as ``(K, n, d)`` stacks.
+        """
+        size = self.size
+        hidden_dim = self.hidden_dim
+        n_nodes = batch.n_nodes
+        hidden = np.zeros((size * n_nodes, hidden_dim), dtype=self.dtype)
+        features = batch.cast_type_features(self.dtype)
+        for node_type, rows in batch.member_type_rows(size).items():
+            hidden[rows] = self.encoders[node_type].forward_array(
+                features[node_type]).reshape(-1, hidden_dim)
+        combiners = self.combiners
+        for group in batch.member_stage_plan(hidden_dim, size):
+            for node_type, recv, src, flat_seg, n_recv in group:
+                if src is not None:
+                    messages = hidden[src].reshape(size, -1, hidden_dim)
+                    aggregated = self._aggregate(flat_seg, messages,
+                                                 n_recv)
+                else:
+                    aggregated = np.zeros((size, n_recv, hidden_dim),
+                                          dtype=self.dtype)
+                combined = np.concatenate(
+                    [aggregated,
+                     hidden[recv].reshape(size, n_recv, hidden_dim)],
+                    axis=-1)
+                hidden[recv] = combiners[node_type].forward_array(
+                    combined).reshape(-1, hidden_dim)
+        pooled = self._aggregate(
+            batch.member_flat_graph_id(hidden_dim, size),
+            hidden.reshape(size, n_nodes, hidden_dim), batch.n_graphs)
+        return np.squeeze(self.readout.forward_array(pooled), axis=-1)

@@ -10,7 +10,6 @@ training hyper-parameters) plus one array per network parameter.
 from __future__ import annotations
 
 import dataclasses
-import io
 import json
 from pathlib import Path
 

@@ -8,7 +8,7 @@ from ..baselines.flat_vector import FlatVectorModel
 from ..baselines.online_monitoring import OnlineMonitoringScheduler
 from ..config import default_workload_ranges
 from ..data.collection import QueryTrace
-from ..hardware.cluster import Cluster, sample_cluster
+from ..hardware.cluster import sample_cluster
 from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..query.datatypes import DataType, TupleSchema
 from ..query.generator import QueryGenerator

@@ -7,10 +7,8 @@ range (Table IV A): e.g. 150% CPU when training saw 100% and 200%.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..config import HardwareRanges
-from ..hardware.cluster import sample_cluster
 from .context import ExperimentContext
 from .evaluation import evaluate_models
 

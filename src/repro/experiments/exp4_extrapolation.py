@@ -15,7 +15,6 @@ import numpy as np
 from ..config import HardwareRanges, default_hardware_ranges
 from ..core.costream import Costream
 from ..core.features import Featurizer
-from ..data.collection import BenchmarkCollector
 from ..hardware.cluster import Cluster
 from ..hardware.node import HardwareNode
 from .context import ExperimentContext

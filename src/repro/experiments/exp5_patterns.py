@@ -8,7 +8,6 @@ throughput model's accuracy.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..config import default_workload_ranges
 from ..core.dataset import GraphDataset

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.dataset import GraphDataset
-from ..core.features import FEATURE_MODES, Featurizer
+from ..core.features import Featurizer
 from ..core.metrics import q_error_percentiles
 from ..core.training import CostModel
 from ..simulator.result import REGRESSION_METRICS

@@ -1,15 +1,16 @@
 """Numpy neural-network substrate (autodiff, layers, optimizers, losses)."""
 
-from .autodiff import (Tensor, concat, gather, is_grad_enabled, no_grad,
+from .autodiff import (Tensor, concat, float32_inference, gather,
+                       inference_dtype, is_grad_enabled, no_grad,
                        scatter_rows, segment_sum, stack)
-from .layers import MLP, Dropout, Linear, Module
+from .layers import MLP, Dropout, Linear, Module, StackedMLP
 from .losses import bce_with_logits_loss, mse_loss, msle_loss
 from .optim import Adam, SGD, clip_grad_norm
 
 __all__ = [
     "Tensor", "concat", "gather", "scatter_rows", "segment_sum", "stack",
-    "no_grad", "is_grad_enabled",
-    "Module", "Linear", "MLP", "Dropout",
+    "no_grad", "is_grad_enabled", "float32_inference", "inference_dtype",
+    "Module", "Linear", "MLP", "Dropout", "StackedMLP",
     "msle_loss", "mse_loss", "bce_with_logits_loss",
     "SGD", "Adam", "clip_grad_norm",
 ]

@@ -21,7 +21,9 @@ import numpy as np
 
 __all__ = ["Tensor", "concat", "gather", "gather_segment_sum",
            "scatter_rows", "segment_sum", "stack", "no_grad",
-           "is_grad_enabled", "legacy_kernels"]
+           "is_grad_enabled", "legacy_kernels", "float32_inference",
+           "inference_dtype", "flat_scatter_add",
+           "stacked_flat_scatter_add"]
 
 
 # Tape recording can be switched off globally for inference: operations
@@ -78,6 +80,73 @@ class legacy_kernels:
 
     def __exit__(self, *exc) -> None:
         _LEGACY_KERNELS[0] = self._prev
+
+
+# Inference dtype for the ensemble-batched prediction path.  float64
+# (the default) is bitwise identical to the per-member reference;
+# float32 trades a documented tolerance (see PERFORMANCE.md) for
+# single-precision GEMMs and half the weight/activation bandwidth.
+# Training always runs in float64 regardless of this setting.
+_INFERENCE_DTYPE = [np.float64]
+
+
+def inference_dtype() -> np.dtype:
+    """The dtype the ensemble-batched inference path currently uses."""
+    return np.dtype(_INFERENCE_DTYPE[0])
+
+
+class float32_inference:
+    """Context manager opting in to float32 ensemble inference.
+
+    Inside the context, :class:`repro.core.ensemble.MetricEnsemble`
+    runs its batched-GEMM forward on float32 weight stacks (cast once
+    at stack-build time and cached).  Paths that have no float32
+    implementation — training, the taped forward, the per-member
+    reference — keep running in float64; nesting restores the previous
+    dtype on exit.
+    """
+
+    def __enter__(self) -> "float32_inference":
+        self._prev = _INFERENCE_DTYPE[0]
+        _INFERENCE_DTYPE[0] = np.float32
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _INFERENCE_DTYPE[0] = self._prev
+
+
+def flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
+                     n_rows: int) -> np.ndarray:
+    """Scatter-add of ``(E, width)`` values with a precomputed flat index.
+
+    Same bincount kernel (and bitwise-identical accumulation order) as
+    :func:`_scatter_add`, minus the per-call index construction — the
+    index is cached by the caller (see ``StageSlice.flat_seg``).
+    ``np.bincount`` accumulates in float64 whatever the input dtype, so
+    float32 callers cast the result back themselves.
+    """
+    width = values.shape[-1]
+    out = np.bincount(flat_index, weights=values.ravel(),
+                      minlength=n_rows * width)
+    return out.reshape(n_rows, width)
+
+
+def stacked_flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
+                             n_rows: int) -> np.ndarray:
+    """Member-stacked scatter-add: ``(K, E, width)`` values -> ``(K,
+    n_rows, width)`` with one bincount.
+
+    ``flat_index`` must be the member-tiled index (member ``k``'s
+    entries offset by ``k * n_rows * width``; see
+    ``GraphBatch.member_stage_plan``).  Member ``k``'s additions target
+    only member-``k`` slots and arrive in their original edge order, so
+    every ``out[k]`` is bitwise identical to :func:`flat_scatter_add`
+    over ``values[k]``.
+    """
+    size, _, width = values.shape
+    out = np.bincount(flat_index, weights=values.reshape(-1),
+                      minlength=size * n_rows * width)
+    return out.reshape(size, n_rows, width)
 
 
 def _scatter_add(index: np.ndarray, values: np.ndarray,

@@ -9,7 +9,7 @@ import numpy as np
 from .autodiff import Tensor, _legacy_kernels_enabled, _unbroadcast
 from . import init
 
-__all__ = ["Module", "Linear", "MLP", "Dropout"]
+__all__ = ["Module", "Linear", "MLP", "Dropout", "StackedMLP"]
 
 
 def _accumulate_array(param: Tensor, grad: np.ndarray) -> None:
@@ -251,6 +251,13 @@ class MLP(Module):
                 activations.append(x)
         return x, (activations, masks)
 
+    @property
+    def layer_shapes(self) -> tuple[tuple[int, int], ...]:
+        """Per-layer (in, out) shapes; the architecture fingerprint
+        :meth:`StackedMLP.from_mlps` validates against."""
+        return tuple((layer.in_features, layer.out_features)
+                     for layer in self.layers)
+
     def backward_array(self, grad, cache, input_grad: bool = True):
         """Manual backward matching :meth:`_forward_fused` bit for bit.
 
@@ -270,3 +277,75 @@ class MLP(Module):
             if i > 0:
                 g = g * masks[i - 1]
         return g
+
+
+class StackedMLP:
+    """K same-architecture MLPs folded into per-layer 3-D weight stacks.
+
+    The ensemble-inference substrate: instead of K sequential 2-D GEMMs
+    per layer, one ``np.matmul`` over ``(K, n, d)`` activations runs
+    every member's affine map in a single batched-GEMM call.  numpy
+    dispatches each ``(n, d) @ (d, h)`` slice of the stacked operands
+    to the same 2-D GEMM kernel the per-member
+    :meth:`MLP.forward_array` uses, so float64 stacks produce outputs
+    **bitwise identical** to looping over the members.
+
+    Weights are *copied* into the stacks at construction time (cast
+    once when ``dtype`` is float32) and never written back — a stack is
+    a read-only snapshot, and callers are responsible for rebuilding it
+    when member parameters change (see
+    ``MetricEnsemble.member_stack``).
+    """
+
+    def __init__(self, weights: list[np.ndarray],
+                 biases: list[np.ndarray], dtype: np.dtype):
+        self.weights = weights          # per layer: (K, fan_in, fan_out)
+        self.biases = biases            # per layer: (K, 1, fan_out)
+        self.dtype = np.dtype(dtype)
+        self.size = weights[0].shape[0]
+
+    @classmethod
+    def from_mlps(cls, mlps: Sequence[MLP],
+                  dtype=np.float64) -> "StackedMLP":
+        """Stack the weights of same-architecture MLPs.
+
+        Raises ``ValueError`` when the member architectures disagree —
+        stacking only makes sense for ensemble members that differ in
+        their values, not their shapes.
+        """
+        mlps = list(mlps)
+        if not mlps:
+            raise ValueError("cannot stack an empty list of MLPs")
+        shapes = {mlp.layer_shapes for mlp in mlps}
+        if len(shapes) != 1:
+            raise ValueError(
+                f"cannot stack MLPs with mismatched architectures: "
+                f"{sorted(shapes)}")
+        dtype = np.dtype(dtype)
+        weights = []
+        biases = []
+        for group in zip(*(mlp.layers for mlp in mlps)):
+            weights.append(np.stack([layer.weight.data
+                                     for layer in group])
+                           .astype(dtype, copy=False))
+            biases.append(np.stack([layer.bias.data for layer in group])
+                          [:, None, :].astype(dtype, copy=False))
+        return cls(weights, biases, dtype)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Batched eval-mode forward on raw ndarrays.
+
+        ``x`` is either ``(n, fan_in)`` (shared input, broadcast over
+        the members — the encoder case) or ``(K, n, fan_in)``
+        (per-member activations); the result is ``(K, n, fan_out)``.
+        The relu ``x * (x > 0)`` is the exact expression the per-member
+        path uses.  Callers pass ``x`` already in :attr:`dtype` —
+        mixing dtypes would silently upcast the GEMM to float64.
+        """
+        last = len(self.weights) - 1
+        for i, (weight, bias) in enumerate(zip(self.weights,
+                                               self.biases)):
+            x = np.matmul(x, weight) + bias
+            if i < last:
+                x = x * (x > 0.0)
+        return x

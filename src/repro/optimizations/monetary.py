@@ -14,7 +14,7 @@ cheapest placement whose predicted performance is acceptable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -24,7 +24,7 @@ if TYPE_CHECKING:
 from ..hardware.cluster import Cluster
 from ..hardware.placement import Placement
 from ..placement.enumeration import HeuristicPlacementEnumerator
-from ..query.operators import OperatorKind, Source, with_selectivity
+from ..query.operators import OperatorKind, with_selectivity
 from ..query.plan import QueryPlan
 
 __all__ = ["PriceModel", "MonetaryCostEstimator", "BudgetDecision",

@@ -23,6 +23,7 @@ import numpy as np
 
 if TYPE_CHECKING:
     from ..core.costream import Costream
+from ..core.graph import collate_chunks, featurize_hosts
 from ..hardware.cluster import Cluster
 from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementOptimizer
@@ -120,7 +121,20 @@ class ReorderingDecision:
 
 
 class ReorderingOptimizer:
-    """Jointly optimizes filter order and operator placement."""
+    """Jointly optimizes filter order and operator placement.
+
+    The fast path scores every rewrite's candidates *jointly*: hosts
+    are featurized once per cluster, each rewrite's candidates are
+    collated directly into batches (no per-ordering
+    :class:`~repro.core.graph.QueryGraph` objects), and each cost
+    metric is predicted in ONE pass over the concatenated batch list —
+    so the `3 metrics x K members` ensemble machinery (weight-stack
+    lookups, batched-GEMM forwards) runs once per decision instead of
+    once per ordering.  Per-rewrite batch boundaries are preserved, so
+    predictions — and therefore the chosen (plan, placement) pair —
+    are identical to the per-rewrite graph-object path retained as
+    :meth:`optimize_reference` (equivalence is tested).
+    """
 
     def __init__(self, model: "Costream",
                  objective: str = "processing_latency"):
@@ -128,29 +142,106 @@ class ReorderingOptimizer:
         self.objective = objective
         self._placement_optimizer = PlacementOptimizer(model, objective)
 
+    def _enumerate_rewrites(self, plan: QueryPlan, cluster: Cluster,
+                            n_candidates: int, seed: int
+                            ) -> tuple[list[QueryPlan], list[list]]:
+        """Rewrites and their per-rewrite placement candidates.
+
+        Every rewrite draws from its own enumerator seeded ``seed +
+        index`` — the exact sequence the per-rewrite reference path
+        uses.
+        """
+        rewrites = enumerate_filter_orders(plan)
+        candidates = []
+        for index, rewrite in enumerate(rewrites):
+            enumerator = HeuristicPlacementEnumerator(cluster,
+                                                      seed=seed + index)
+            cands = enumerator.enumerate(rewrite, n_candidates)
+            if not cands:
+                # Same guard PlacementOptimizer.optimize applies.
+                raise ValueError(
+                    "placement enumeration yielded no candidates")
+            candidates.append(cands)
+        return rewrites, candidates
+
+    def _select_rewrite(self, rewrites: list[QueryPlan],
+                        candidates: list[list],
+                        objective_values, feasible,
+                        original: QueryPlan) -> ReorderingDecision:
+        """Per-rewrite candidate selection + cross-rewrite comparison.
+
+        Applies :meth:`PlacementOptimizer.select` to each rewrite's
+        slice of the joint prediction arrays, then keeps the first
+        strictly-better rewrite — the exact tie-breaking of the
+        sequential reference loop (original order first).
+        """
+        maximize = self.objective in ("throughput",)
+        best = None
+        start = 0
+        for index, rewrite in enumerate(rewrites):
+            stop = start + len(candidates[index])
+            values = objective_values[start:stop]
+            chosen, _ = self._placement_optimizer.select(
+                values, feasible[start:stop])
+            score = float(values[chosen])
+            better = (best is None
+                      or (score > best[0] if maximize
+                          else score < best[0]))
+            if better:
+                best = (score, rewrite, candidates[index][chosen])
+            start = stop
+        score, rewrite, placement = best
+        return ReorderingDecision(
+            plan=rewrite, placement=placement,
+            predicted_objective=score,
+            rewrites_evaluated=len(rewrites),
+            reordered=rewrite.edges != original.edges)
+
     def optimize(self, plan: QueryPlan, cluster: Cluster,
                  n_candidates: int = 20,
                  selectivities: dict[str, float] | None = None,
                  seed: int = 0) -> ReorderingDecision:
         """Pick the rewrite+placement with the best predicted cost."""
-        rewrites = enumerate_filter_orders(plan)
-        best = None
-        maximize = self.objective in ("throughput",)
-        for index, rewrite in enumerate(rewrites):
-            enumerator = HeuristicPlacementEnumerator(cluster,
-                                                      seed=seed + index)
-            decision = self._placement_optimizer.optimize(
-                rewrite, cluster, n_candidates=n_candidates,
-                selectivities=selectivities, enumerator=enumerator,
-                seed=seed + index)
-            score = decision.predicted_objective
-            better = (best is None
-                      or (score > best[0] if maximize else score < best[0]))
-            if better:
-                best = (score, rewrite, decision.placement, index)
-        score, rewrite, placement, index = best
-        return ReorderingDecision(
-            plan=rewrite, placement=placement,
-            predicted_objective=float(score),
-            rewrites_evaluated=len(rewrites),
-            reordered=rewrite.edges != plan.edges)
+        rewrites, candidates = self._enumerate_rewrites(
+            plan, cluster, n_candidates, seed)
+        host_features = (featurize_hosts(cluster, self.model.featurizer)
+                         if self.model.featurizer.mode != "query_only"
+                         else None)
+        batches = []
+        for rewrite, cands in zip(rewrites, candidates):
+            batches.extend(self.model.collate_placements(
+                rewrite, cands, cluster, selectivities,
+                host_features=host_features))
+        objective_values, feasible = \
+            self._placement_optimizer.score(batches)
+        return self._select_rewrite(rewrites, candidates,
+                                    objective_values, feasible, plan)
+
+    def optimize_reference(self, plan: QueryPlan, cluster: Cluster,
+                           n_candidates: int = 20,
+                           selectivities: dict[str, float] | None = None,
+                           seed: int = 0) -> ReorderingDecision:
+        """The per-ordering graph-object path, kept as the executable
+        reference for :meth:`optimize`.
+
+        Builds one :class:`~repro.core.graph.QueryGraph` per candidate
+        of every rewrite and scores each rewrite separately — the
+        pre-fusion behavior; predictions and the final decision must
+        match :meth:`optimize` exactly (see
+        ``tests/test_ensemble_batched.py``).
+        """
+        rewrites, candidates = self._enumerate_rewrites(
+            plan, cluster, n_candidates, seed)
+        batch_size = self.model.config.batch_size
+        values_parts = []
+        feasible_parts = []
+        for rewrite, cands in zip(rewrites, candidates):
+            graphs = self.model.build_graphs(rewrite, cands, cluster,
+                                             selectivities)
+            batches = collate_chunks(graphs, batch_size)
+            values, feasible = self._placement_optimizer.score(batches)
+            values_parts.append(values)
+            feasible_parts.append(feasible)
+        return self._select_rewrite(
+            rewrites, candidates, np.concatenate(values_parts),
+            np.concatenate(feasible_parts), plan)

@@ -69,27 +69,45 @@ class PlacementOptimizer:
             raise ValueError("placement enumeration yielded no candidates")
         # Fast path: featurize the plan and hosts once, assemble the
         # candidate batches directly, and share them across every
-        # metric ensemble and member (3 metrics x K members reuse them).
+        # metric ensemble — each ensemble runs one batched-GEMM forward
+        # over its stacked member weights per batch.
         batches = self.model.collate_placements(plan, candidates, cluster,
                                                 selectivities)
-
-        feasible = self._feasibility_mask(batches)
-        objective_values = self.model.predict_metric(self.objective,
-                                                     batches)
-        maximize = self.objective in _MAXIMIZE
-        order = np.argsort(objective_values)
-        if maximize:
-            order = order[::-1]
-
-        feasible_order = [i for i in order if feasible[i]]
-        n_feasible = len(feasible_order)
-        best = feasible_order[0] if feasible_order else int(order[0])
+        objective_values, feasible = self.score(batches)
+        best, n_feasible = self.select(objective_values, feasible)
         return PlacementDecision(
             placement=candidates[best],
             predicted_objective=float(objective_values[best]),
             objective=self.objective,
             candidates_evaluated=len(candidates),
             feasible_candidates=n_feasible)
+
+    # ------------------------------------------------------------------
+    def score(self, batches: list[GraphBatch]
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate (objective values, feasibility) over batches.
+
+        Accepts pre-collated batches (or raw graphs); shared with
+        :class:`repro.optimizations.reordering.ReorderingOptimizer`,
+        which scores every rewrite's candidates through one call per
+        metric instead of one optimization per rewrite.
+        """
+        return (self.model.predict_metric(self.objective, batches),
+                self._feasibility_mask(batches))
+
+    def select(self, objective_values: np.ndarray,
+               feasible: np.ndarray) -> tuple[int, int]:
+        """Pick the best candidate index and count the feasible ones.
+
+        Feasible candidates win on the objective; with none feasible,
+        the best objective overall is the fallback.
+        """
+        order = np.argsort(objective_values)
+        if self.objective in _MAXIMIZE:
+            order = order[::-1]
+        feasible_order = [i for i in order if feasible[i]]
+        best = feasible_order[0] if feasible_order else int(order[0])
+        return best, len(feasible_order)
 
     # ------------------------------------------------------------------
     def _feasibility_mask(self, batches: list[GraphBatch]) -> np.ndarray:

@@ -13,8 +13,7 @@ import numpy as np
 
 from ..config import WorkloadRanges, default_workload_ranges
 from .datatypes import DataType, TupleSchema
-from .operators import (Filter, Sink, Source, Window, WindowedAggregate,
-                        WindowedJoin)
+from .operators import Filter, Source, Window, WindowedAggregate, WindowedJoin
 from .plan import QueryPlan
 from .templates import (LinearTemplate, ThreeWayJoinTemplate,
                         TwoWayJoinTemplate)

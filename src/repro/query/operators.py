@@ -11,7 +11,7 @@ model only ever sees an *estimated* selectivity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from .datatypes import DataType, TupleSchema

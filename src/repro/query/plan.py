@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .datatypes import TupleSchema
-from .operators import (Filter, Operator, OperatorKind, Sink, Source, Window,
+from .operators import (Filter, Operator, OperatorKind, Source,
                         WindowedAggregate, WindowedJoin)
 
 __all__ = ["QueryPlan", "StreamAnnotation", "PlanValidationError"]

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .operators import (Filter, Operator, Sink, Source, Window,
-                        WindowedAggregate, WindowedJoin)
+from .operators import (Filter, Operator, Sink, Source, WindowedAggregate,
+                        WindowedJoin)
 from .plan import QueryPlan
 
 __all__ = ["LinearTemplate", "TwoWayJoinTemplate", "ThreeWayJoinTemplate",

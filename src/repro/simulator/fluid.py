@@ -12,7 +12,7 @@ mid-execution (a capability an offline model never needs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

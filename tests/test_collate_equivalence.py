@@ -16,7 +16,6 @@ from repro.core import (Featurizer, build_graph, collate,
                         collate_candidates, collate_chunks,
                         collate_reference, featurize_hosts, featurize_plan)
 from repro.core.graph import GraphBatch, StageSlice
-from repro.data import BenchmarkCollector
 from repro.hardware import sample_cluster
 from repro.placement.enumeration import HeuristicPlacementEnumerator
 from repro.query.generator import QueryGenerator

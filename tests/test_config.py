@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import (HardwareRanges, WorkloadRanges,
-                          default_hardware_ranges,
-                          default_workload_ranges)
+from repro.config import default_hardware_ranges, default_workload_ranges
 
 
 class TestHardwareRanges:

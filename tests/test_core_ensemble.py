@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Costream, Featurizer, MetricEnsemble, TrainingConfig
+from repro.core import Costream, MetricEnsemble, TrainingConfig
 from repro.core.dataset import GraphDataset
 
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import (CostModel, Featurizer, GraphDataset,
-                        TrainingConfig, balance_classes,
-                        classification_accuracy, q_error,
+from repro.core import (CostModel, GraphDataset, TrainingConfig,
+                        balance_classes, classification_accuracy, q_error,
                         q_error_percentiles, split_traces)
 from repro.core.training import _oversampled_pool
 

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
-from repro.data import (BenchmarkCollector, QueryTrace, load_corpus,
-                        save_corpus, trace_from_dict, trace_to_dict)
+from repro.data import (BenchmarkCollector, load_corpus, save_corpus,
+                        trace_from_dict, trace_to_dict)
 from repro.query.benchmarks import spike_detection
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import default_hardware_ranges
 from repro.experiments.exp4_extrapolation import (EXTRAPOLATION_SETUPS,

@@ -10,8 +10,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import (EXTRAPOLATION_SETUPS, INTERPOLATION_RANGES,
-                               SCALES, ExperimentContext, format_table,
-                               get_scale)
+                               SCALES, format_table, get_scale)
 from repro.experiments.context import get_context
 
 

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import (BenchmarkCollector, Costream, DSPSSimulator,
-                   QueryGenerator, TrainingConfig, sample_cluster)
+from repro import (Costream, DSPSSimulator, QueryGenerator, TrainingConfig,
+                   sample_cluster)
 from repro.baselines import FlatVectorModel
 from repro.core import GraphDataset, q_error
 from repro.placement import HeuristicPlacementEnumerator, PlacementOptimizer

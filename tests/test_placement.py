@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import Costream, TrainingConfig
-from repro.hardware import capability_bin
 from repro.placement import (HeuristicPlacementEnumerator,
                              PlacementOptimizer)
 

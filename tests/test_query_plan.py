@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.query import (DataType, Filter, PlanValidationError, QueryPlan,
                          Sink, Source, TupleSchema, Window,
                          WindowedAggregate, WindowedJoin)
-from repro.query.operators import OperatorKind
 
 
 def _source(op_id="src1", rate=100.0, width=2):

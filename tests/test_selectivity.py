@@ -7,8 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.query import DataType, Filter, Window, WindowedAggregate, \
-    WindowedJoin
+from repro.query import DataType, Filter, Window, WindowedJoin
 from repro.simulator import ExactSelectivities, SelectivityEstimator
 
 

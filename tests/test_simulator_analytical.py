@@ -8,13 +8,12 @@ reproducible per seed.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.hardware import Cluster, HardwareNode, Placement
 from repro.query import (DataType, Filter, QueryPlan, Sink, Source,
                          TupleSchema, Window, WindowedAggregate)
-from repro.simulator import AnalyticalSimulator, SimulationConfig
+from repro.simulator import AnalyticalSimulator
 
 
 def _node(node_id, cpu=400, ram=16000, bw=1000, lat=5):

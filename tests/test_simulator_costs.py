@@ -6,7 +6,7 @@ import pytest
 
 from repro.query import (DataType, Filter, Sink, Source, TupleSchema,
                          Window, WindowedAggregate, WindowedJoin)
-from repro.query.plan import QueryPlan, StreamAnnotation
+from repro.query.plan import StreamAnnotation
 from repro.simulator.costs import (held_tuples_per_side, operator_load,
                                    operator_state_bytes)
 

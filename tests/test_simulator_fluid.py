@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.hardware import Cluster, HardwareNode, Placement
 from repro.query import (DataType, Filter, QueryPlan, Sink, Source,
                          TupleSchema)
-from repro.simulator import FluidSimulation, SimulationConfig
+from repro.simulator import FluidSimulation
 
 
 def _node(node_id, cpu=400, ram=16000, bw=1000, lat=5):
@@ -39,7 +38,6 @@ class TestSteadyState:
         assert metrics.throughput == pytest.approx(250.0, rel=0.25)
 
     def test_matches_analytical_backpressure_verdict(self, tiny_corpus):
-        from repro.simulator import AnalyticalSimulator
         agree = 0
         sample = [t for t in tiny_corpus[:24]]
         for trace in sample:
