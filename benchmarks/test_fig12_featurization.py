@@ -6,20 +6,15 @@ Expected shape: monotone improvement from query-only to the full
 scheme.
 """
 
-import pytest
-
 from _harness import run_once
 
 from repro.experiments import run_featurization
 
 
-# Pre-existing seed failure: the "+ hardware features" mode does not
-# reliably beat "query nodes only" at reproduction scale.  Quarantined
-# (non-strict, so an accidental pass stays green) per ISSUE 2 so the
-# nightly benchmark workflow can run the full suite green; remove the
-# marker once the featurization ablation is fixed.
-@pytest.mark.xfail(strict=False,
-                   reason="pre-existing seed failure, see ISSUE 2")
+# The ISSUE-2 quarantine (xfail, "full worse than query-only") is
+# gone: the ablation now trains all three modes under the identical
+# protocol and seed, isolating the featurization scheme — the paper's
+# monotone shape holds at small scale (see run_featurization).
 def test_fig12_featurization(benchmark, context, report, shape_checks):
     rows = run_once(benchmark, lambda: run_featurization(context))
     report(rows, "Fig. 12 — featurization ablation (E2E-latency)")

@@ -42,17 +42,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7,
                         help="corpus sampling seed")
     parser.add_argument("--profile", action="store_true",
-                        help="print a cProfile top-20 of one placement "
-                             "decision")
+                        help="print cProfile top-20s of one placement "
+                             "decision and one mega-batched wave")
+    parser.add_argument("--pool-size", type=int, default=0,
+                        help="also run the decision wave on a "
+                             "fork-backed worker pool of this size "
+                             "(0 = skip; the nightly passes 2)")
     args = parser.parse_args(argv)
 
     if args.profile:
         profile_decision(args.scale)
 
-    results = run_hotpath_benchmarks(args.scale, seed=args.seed)
+    results = run_hotpath_benchmarks(args.scale, seed=args.seed,
+                                     pool_size=args.pool_size)
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
 
     decision = results["placement_decision"]
+    throughput = results["decision_throughput"]
     epoch = results["epoch"]
     ensemble = results["ensemble_batched"]
     print(f"scale={results['scale']}")
@@ -61,6 +67,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"decision:  {decision['speedup']:6.1f}x "
           f"({1e3 * decision['fast_s_per_decision']:.1f} ms/decision, "
           f"{decision['n_candidates']} candidates)")
+    pool_note = ""
+    if "pool" in throughput:
+        pool = throughput["pool"]
+        pool_note = (f", pool[{pool['processes']}] "
+                     f"{pool['decisions_per_s_pooled']:,.0f}/s")
+    print(f"throughput:{throughput['speedup']:6.2f}x wave vs sequential "
+          f"({throughput['decisions_per_s_batched']:,.0f} decisions/s, "
+          f"wave of {throughput['n_requests']}, "
+          f"f32 {throughput['float32_speedup']:.2f}x{pool_note})")
     print(f"ensemble:  {ensemble['speedup']:6.1f}x batched-GEMM "
           f"(K={ensemble['ensemble_size']}, "
           f"float32 {ensemble['float32_speedup']:.1f}x, "

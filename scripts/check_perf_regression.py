@@ -6,7 +6,8 @@ Usage::
     python scripts/check_perf_regression.py --fresh fresh.json \
         [--baseline BENCH_hotpaths.json] \
         [--decision-floor 5.0] [--epoch-floor 2.0] [--collate-floor 2.0] \
-        [--ensemble-floor 0.8] [--tolerance 1e-9]
+        [--ensemble-floor 0.8] [--throughput-floor 1.0] \
+        [--tolerance 1e-9]
 
 Compares a freshly measured benchmark JSON against the committed
 baseline and **fails (exit 1)** when
@@ -17,11 +18,17 @@ baseline and **fails (exit 1)** when
   relaxed floors; the nightly enforces the full floors at small scale),
 * the batched-GEMM ensemble path regresses below ``--ensemble-floor``
   (1.0 means parity with the per-member loop),
+* the mega-batched decision wave regresses below
+  ``--throughput-floor`` against sequential ``optimize`` calls
+  (1.0 means parity; the wave's amortization win is bounded by the
+  bitwise-pinned arithmetic share, see PERFORMANCE.md — measured
+  ~1.6x at tiny scale, ~1.15x at small scale on one core),
 * the fast path stops being numerically equivalent to the slow-path
   replicas (``max_abs_delta`` > ``--tolerance``, decisions disagree, or
   the recorded equivalence verdict is False), or
 * float32 inference drifts beyond the tolerance recorded in the
-  benchmark itself (``ensemble_batched.float32_tolerance``).
+  benchmark itself (``float32_tolerance`` of ``ensemble_batched`` /
+  ``decision_throughput``), or a float32 wave flips a decision.
 
 The baseline is used for drift *reporting*: every metric is printed as
 ``fresh vs baseline`` so a regression that still clears the floor is
@@ -50,6 +57,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epoch-floor", type=float, default=2.0)
     parser.add_argument("--collate-floor", type=float, default=2.0)
     parser.add_argument("--ensemble-floor", type=float, default=0.8)
+    parser.add_argument("--throughput-floor", type=float, default=1.0)
     parser.add_argument("--tolerance", type=float, default=1e-9)
     args = parser.parse_args(argv)
 
@@ -60,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
 
     floors = {
         "placement_decision": args.decision_floor,
+        "decision_throughput": args.throughput_floor,
         "epoch": args.epoch_floor,
         "collate": args.collate_floor,
         "ensemble_batched": args.ensemble_floor,
@@ -123,6 +132,38 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"float32 rel delta {f32_delta:.2e} exceeds "
                 f"{f32_budget:.0e}")
+
+    throughput = fresh.get("decision_throughput", {})
+    if not throughput:
+        failures.append("fresh results lack the decision_throughput "
+                        "entry")
+    else:
+        wave_delta = float(throughput.get("float64_max_abs_delta",
+                                          float("inf")))
+        if wave_delta > args.tolerance:
+            failures.append(
+                f"mega-batched wave delta {wave_delta:.2e} exceeds "
+                f"{args.tolerance:.0e}")
+        if not throughput.get("decisions_agree", False):
+            failures.append("mega-batched wave decisions disagree with "
+                            "the sequential path")
+        wave_f32 = float(throughput.get("float32_max_rel_delta",
+                                        float("inf")))
+        wave_f32_budget = float(throughput.get("float32_tolerance", 0.0))
+        print(f"  wave float32         rel delta={wave_f32:.2e} "
+              f"(tolerance {wave_f32_budget:.0e}) "
+              f"{'ok' if wave_f32 <= wave_f32_budget else 'FAIL'}")
+        if wave_f32 > wave_f32_budget:
+            failures.append(
+                f"float32 wave rel delta {wave_f32:.2e} exceeds "
+                f"{wave_f32_budget:.0e}")
+        if not throughput.get("float32_decisions_agree", False):
+            failures.append("float32 wave flipped a chosen placement")
+        pool = throughput.get("pool")
+        if pool is not None and not pool.get("matches_single_process",
+                                             False):
+            failures.append("pool-backed wave decisions diverge from "
+                            "the single-process wave")
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)

@@ -13,6 +13,13 @@ Public API tour::
     plan = QueryGenerator(seed=1).generate()
     cluster = sample_cluster(np.random.default_rng(2), 6)
     decision = PlacementOptimizer(model).optimize(plan, cluster)
+
+    # Streams of decisions: serve a whole wave in one ensemble pass
+    # (bitwise identical to sequential optimize calls — PERFORMANCE.md)
+    from repro import DecisionBatcher, DecisionRequest
+    decisions = DecisionBatcher(model).decide(
+        [DecisionRequest(plan=p, cluster=c, seed=i)
+         for i, (p, c) in enumerate(workload)])
 """
 
 from .config import (HardwareRanges, WorkloadRanges,
@@ -26,6 +33,7 @@ from .hardware import (Cluster, HardwareNode, Placement, sample_cluster,
 from .placement import (HeuristicPlacementEnumerator, PlacementDecision,
                         PlacementOptimizer)
 from .query import QueryGenerator, QueryPlan
+from .serving import DecisionBatcher, DecisionRequest, WorkerPool
 from .simulator import (DSPSSimulator, QueryMetrics, SimulationConfig,
                         SelectivityEstimator)
 
@@ -39,7 +47,8 @@ __all__ = [
     "QueryTrace", "load_corpus", "save_corpus", "Cluster", "HardwareNode",
     "Placement", "sample_cluster", "sample_node",
     "HeuristicPlacementEnumerator", "PlacementDecision",
-    "PlacementOptimizer", "QueryGenerator", "QueryPlan", "DSPSSimulator",
+    "PlacementOptimizer", "QueryGenerator", "QueryPlan",
+    "DecisionBatcher", "DecisionRequest", "WorkerPool", "DSPSSimulator",
     "QueryMetrics", "SimulationConfig", "SelectivityEstimator",
     "__version__",
 ]

@@ -7,7 +7,7 @@ from .features import FEATURE_MODES, Featurizer, NODE_TYPES
 from .graph import (GraphBatch, PlanFeatures, QueryGraph, as_batches,
                     build_graph, collate, collate_candidates,
                     collate_chunks, collate_reference, featurize_hosts,
-                    featurize_plan)
+                    featurize_plan, mega_mergeable, merge_batches)
 from .metrics import (balance_classes, classification_accuracy, q_error,
                       q_error_percentiles)
 from .model import CostreamGNN, MemberStack, MESSAGE_SCHEMES
@@ -20,6 +20,7 @@ __all__ = [
     "build_graph", "collate", "collate_candidates", "collate_chunks",
     "collate_reference",
     "as_batches", "PlanFeatures", "featurize_plan", "featurize_hosts",
+    "mega_mergeable", "merge_batches",
     "balance_classes", "classification_accuracy",
     "q_error", "q_error_percentiles", "CostreamGNN", "MemberStack",
     "MESSAGE_SCHEMES",

@@ -14,7 +14,7 @@ from .ensemble import MetricEnsemble
 from .features import Featurizer
 from .graph import (GraphBatch, QueryGraph, build_graph, collate,
                     collate_candidates, collate_chunks, featurize_hosts,
-                    featurize_plan)
+                    featurize_plan, mega_mergeable, merge_batches)
 from .training import TrainingConfig
 
 __all__ = ["Costream"]
@@ -129,14 +129,45 @@ class Costream:
                                            selectivities)
             if host_features is None:
                 host_features = featurize_hosts(cluster, self.featurizer)
+            # Only the `traditional` ablation reads neighbor_rounds;
+            # staged models skip building them.
+            neighbor_rounds = self.config.scheme != "staged"
             return [collate_candidates(plan_features,
                                        placements[start:start
                                                   + batch_size],
-                                       host_features)
+                                       host_features,
+                                       neighbor_rounds=neighbor_rounds)
                     for start in range(0, len(placements), batch_size)]
         graphs = self.build_graphs(plan, placements, cluster,
                                    selectivities)
         return collate_chunks(graphs, batch_size)
+
+    def merged_inference_batches(self, batches: list[GraphBatch],
+                                 metrics: tuple[str, ...] | None = None
+                                 ) -> list[GraphBatch]:
+        """Fuse batches into one mega-batch when that is exactly safe.
+
+        The cross-decision fast path (:mod:`repro.serving`, the
+        reordering optimizer): when every ensemble that will score the
+        batches runs the batched-GEMM member stack and every batch is
+        :func:`repro.core.graph.mega_mergeable` (no single-row GEMM
+        slices), the whole list merges into ONE
+        :func:`repro.core.graph.merge_batches` mega-batch whose
+        predictions are bitwise identical to scoring the batches
+        separately (the merged readout replays the original per-batch
+        GEMM shapes). Configurations outside that envelope — legacy
+        kernels, the ``traditional`` scheme, single-graph batches —
+        return the input list unchanged, so callers can always score
+        the result of this method.
+        """
+        if len(batches) <= 1:
+            return batches
+        for metric in (metrics or self.metrics):
+            if not self.ensembles[metric]._supports_batched():
+                return batches
+        if not all(mega_mergeable(batch) for batch in batches):
+            return batches
+        return [merge_batches(batches)]
 
     def predict(self, plan: QueryPlan, placement: Placement,
                 cluster: Cluster,

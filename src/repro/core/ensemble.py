@@ -86,7 +86,13 @@ class MetricEnsemble:
         therefore member-level ``fit`` and persistence loading).  Only
         external **in-place** writes to ``param.data`` — which nothing
         in this repository does between predictions — require calling
-        this explicitly.
+        this explicitly: until then the cached stack keeps serving the
+        snapshot weights (the regression test
+        ``tests/test_ensemble_batched.py::TestStackCacheInvalidation::
+        test_in_place_mutation_requires_invalidate`` pins both the
+        stale-without and fresh-with behavior).  The fork-backed
+        :class:`repro.serving.WorkerPool` mirrors these rules for its
+        worker snapshots (``WorkerPool.restart`` is its hatch).
         """
         self._stacks.clear()
         self._stack_params = None

@@ -27,6 +27,16 @@ Fast-path machinery (see PERFORMANCE.md):
   concatenation and vectorized grouping — no per-node Python loops.
   The original loop-based implementation is retained as
   :func:`collate_reference` and the equivalence is tested.
+* under :class:`repro.nn.float32_inference`, featurization and
+  collation produce float32 *feature* arrays directly (index arrays
+  stay int64), so the batched-GEMM inference stack never pays a
+  per-batch cast; outside the context everything stays float64 and is
+  bitwise identical to the pre-float32 code.
+* :func:`merge_batches` fuses several pre-collated batches into one
+  mega-batch (the cross-decision serving path), recording the original
+  per-batch graph counts as ``readout_segments`` so the readout GEMMs
+  keep their original shapes and per-graph outputs stay bitwise
+  identical to scoring each batch separately.
 """
 
 from __future__ import annotations
@@ -38,17 +48,48 @@ import numpy as np
 
 from ..hardware.cluster import Cluster
 from ..hardware.placement import Placement
+from ..nn.autodiff import inference_dtype
 from ..query.plan import QueryPlan
 from .features import Featurizer, NODE_TYPES
 
 __all__ = ["QueryGraph", "GraphBatch", "StageSlice", "PlanFeatures",
            "build_graph", "featurize_plan", "featurize_hosts", "collate",
            "collate_candidates", "collate_reference", "collate_chunks",
-           "as_batches"]
+           "as_batches", "mega_mergeable", "merge_batches"]
 
 _TYPE_CODE = {node_type: code for code, node_type in enumerate(NODE_TYPES)}
 
 _EMPTY_INDEX = np.asarray([], dtype=np.int64)
+
+
+def _cast_features_cached(owner_dict: dict,
+                          type_features: dict[str, np.ndarray],
+                          dtype) -> dict[str, np.ndarray]:
+    """Per-type feature matrices in ``dtype`` with a single-slot cache.
+
+    The native dtype returns the originals; cross-dtype requests cast
+    once into ``owner_dict["_cast_features"]`` and are reused — shared
+    by :meth:`_GraphArrays.type_features_as` (per graph) and
+    :meth:`GraphBatch.cast_type_features` (per batch), so the two cast
+    paths cannot diverge.  Every entry is checked (not just the
+    first), so a mixed-dtype dict — e.g. a graph assembled from
+    caches built across ``float32_inference`` boundaries — is
+    normalized instead of slipping a stray matrix into a GEMM that
+    would silently upcast.
+    """
+    dtype = np.dtype(dtype)
+    if all(features.dtype == dtype
+           for features in type_features.values()):
+        return type_features
+    cached = owner_dict.get("_cast_features")
+    if cached is None or cached[0] != dtype:
+        # copy=False: entries already in the target dtype are shared,
+        # not copied (all uses are read-only).
+        cached = (dtype, {node_type: features.astype(dtype, copy=False)
+                          for node_type, features
+                          in type_features.items()})
+        owner_dict["_cast_features"] = cached
+    return cached[1]
 
 
 @dataclass(frozen=True)
@@ -68,6 +109,17 @@ class _GraphArrays:
     placement_src: np.ndarray
     placement_dst: np.ndarray
     depth: np.ndarray                      # (N,) flow depth, hosts -1
+
+    def type_features_as(self, dtype) -> dict[str, np.ndarray]:
+        """Per-type feature matrices in ``dtype``, cached per instance.
+
+        The native dtype (whatever the graph was featurized in) returns
+        the originals; cross-dtype requests cast once and reuse the
+        result — one graph is typically collated into many batches
+        (training epochs, serving waves).
+        """
+        return _cast_features_cached(self.__dict__, self.type_features,
+                                     dtype)
 
 
 def _build_collation_arrays(node_types: list[str],
@@ -172,6 +224,14 @@ class GraphBatch:
     hw_to_ops: dict[str, StageSlice]           # stage 2, keyed op type
     flow_levels: list[dict[str, StageSlice]]   # stage 3, one per depth
     neighbor_rounds: dict[str, StageSlice]     # traditional-MP ablation
+    #: Per-source-batch graph counts when this batch was produced by
+    #: :func:`merge_batches` (``None`` for directly collated batches).
+    #: Inference readouts run one GEMM per segment so each graph's
+    #: output keeps the exact arithmetic of its original batch — the
+    #: final ``(n, hidden) @ (hidden, 1)`` GEMM is the one kernel whose
+    #: per-row results depend on the row count, so merged batches must
+    #: replay the original readout shapes to stay bitwise identical.
+    readout_segments: np.ndarray | None = None
 
     def flat_graph_id(self, width: int) -> np.ndarray:
         """Cached flat indices for the per-graph readout scatter-add."""
@@ -186,21 +246,14 @@ class GraphBatch:
     def cast_type_features(self, dtype) -> dict[str, np.ndarray]:
         """Per-type feature matrices in ``dtype``, cached on the batch.
 
-        float64 (the native dtype) returns the originals; float32
-        requests cast once and are reused by every ensemble/metric that
-        shares this batch — mixing dtypes into a GEMM would silently
-        upcast it back to float64.
+        The native dtype (float64, or float32 for batches collated
+        inside :class:`repro.nn.float32_inference`) returns the
+        originals; cross-dtype requests cast once and are reused by
+        every ensemble/metric that shares this batch — mixing dtypes
+        into a GEMM would silently upcast it back to float64.
         """
-        dtype = np.dtype(dtype)
-        if dtype == np.float64:
-            return self.type_features
-        cached = self.__dict__.get("_cast_features")
-        if cached is None or cached[0] != dtype:
-            cached = (dtype, {node_type: features.astype(dtype)
-                              for node_type, features
-                              in self.type_features.items()})
-            self.__dict__["_cast_features"] = cached
-        return cached[1]
+        return _cast_features_cached(self.__dict__, self.type_features,
+                                     dtype)
 
     def member_stage_plan(self, width: int, size: int) -> list[list[tuple]]:
         """:meth:`stage_plan` tiled over ``size`` ensemble members,
@@ -217,6 +270,10 @@ class GraphBatch:
         n_recv)`` with ``tiled_src``/``tiled_flat_seg`` ``None`` for
         edgeless receivers.
         """
+        if size == 1:
+            # One member: every tiled index equals the untiled one, so
+            # the stage plan is shared as-is (same entry layout).
+            return self.stage_plan(width)
         cached = self.__dict__.get("_member_plan")
         if cached is None or cached[0] != (width, size):
             plan = []
@@ -239,6 +296,8 @@ class GraphBatch:
     def member_type_rows(self, size: int) -> dict[str, np.ndarray]:
         """:attr:`type_rows` tiled over ``size`` members (cached),
         indexing the ``(size * n_nodes, width)`` hidden buffer."""
+        if size == 1:
+            return self.type_rows
         cached = self.__dict__.get("_member_type_rows")
         if cached is None or cached[0] != size:
             cached = (size, {node_type: _tile_members(rows, self.n_nodes,
@@ -250,6 +309,8 @@ class GraphBatch:
 
     def member_flat_graph_id(self, width: int, size: int) -> np.ndarray:
         """:meth:`flat_graph_id` tiled over ``size`` members (cached)."""
+        if size == 1:
+            return self.flat_graph_id(width)
         cached = self.__dict__.get("_member_flat_gid")
         if cached is None or cached[0] != (width, size):
             flat = _tile_members(self.flat_graph_id(width),
@@ -293,8 +354,12 @@ def _tile_members(flat_index: np.ndarray, stride: int,
     """Tile a flat scatter index across ``size`` members.
 
     Member ``k`` gets ``flat_index + k * stride``; the result indexes a
-    ``(size * stride,)`` accumulation buffer.
+    ``(size * stride,)`` accumulation buffer.  A single member tiles to
+    the index itself — no copy, so K=1 ensembles skip the member-tiled
+    cache construction entirely.
     """
+    if size == 1:
+        return flat_index
     return (np.arange(size, dtype=np.int64)[:, None] * stride
             + flat_index[None, :]).ravel()
 
@@ -328,10 +393,31 @@ class PlanFeatures:
         return cached
 
 
+def _inference_cast(vector: np.ndarray) -> np.ndarray:
+    """Cast one feature vector to the active inference dtype.
+
+    float64 (the default, and the only dtype training ever sees) is
+    returned untouched; inside :class:`repro.nn.float32_inference` the
+    per-node vectors come out float32 so every downstream vstack /
+    tile / concatenate produces float32 feature matrices natively —
+    the "float32 end-to-end" path.  Graphs are dtype-native to the
+    context they were *built* in; training corpora are always built
+    outside the context.
+    """
+    dtype = inference_dtype()
+    if vector.dtype == dtype:
+        return vector
+    return vector.astype(dtype)
+
+
 def featurize_plan(plan: QueryPlan, featurizer: Featurizer,
                    selectivities: dict[str, float] | None = None
                    ) -> PlanFeatures:
-    """Featurize the operators of one plan (placement-invariant)."""
+    """Featurize the operators of one plan (placement-invariant).
+
+    Feature vectors come out in the active inference dtype (float64
+    unless inside :class:`repro.nn.float32_inference`).
+    """
     selectivities = selectivities or {}
     node_types: list[str] = []
     features: list[np.ndarray] = []
@@ -339,8 +425,8 @@ def featurize_plan(plan: QueryPlan, featurizer: Featurizer,
     for op_id in plan.topological_order():
         op_index[op_id] = len(node_types)
         node_types.append(plan.operator(op_id).kind.value)
-        features.append(featurizer.operator_features(plan, op_id,
-                                                     selectivities))
+        features.append(_inference_cast(featurizer.operator_features(
+            plan, op_id, selectivities)))
     flow_edges = [(op_index[a], op_index[b]) for a, b in plan.edges]
     depth = _flow_depths(plan, op_index)
     return PlanFeatures(node_types=node_types, features=features,
@@ -351,9 +437,13 @@ def featurize_plan(plan: QueryPlan, featurizer: Featurizer,
 def featurize_hosts(cluster: Cluster, featurizer: Featurizer,
                     node_ids: Iterable[str] | None = None
                     ) -> dict[str, np.ndarray]:
-    """Per-host feature vectors, reusable across placement candidates."""
+    """Per-host feature vectors, reusable across placement candidates.
+
+    Vectors come out in the active inference dtype (see
+    :func:`featurize_plan`)."""
     ids = cluster.node_ids if node_ids is None else node_ids
-    return {node_id: featurizer.host_features(cluster.node(node_id))
+    return {node_id: _inference_cast(featurizer.host_features(
+                cluster.node(node_id)))
             for node_id in ids}
 
 
@@ -389,10 +479,14 @@ def build_graph(plan: QueryPlan, placement: Placement | None,
             host_index[node_id] = len(node_types)
             node_types.append("host")
             if host_features is not None and node_id in host_features:
-                features.append(host_features[node_id])
+                # Cast here too: cached host vectors may have been
+                # featurized outside the active float32_inference
+                # context (or vice versa).
+                features.append(_inference_cast(
+                    host_features[node_id]))
             else:
-                features.append(featurizer.host_features(
-                    cluster.node(node_id)))
+                features.append(_inference_cast(featurizer.host_features(
+                    cluster.node(node_id))))
             depth.append(-1)
         for op_id, node_id in placement.items():
             placement_edges.append((op_index[op_id], host_index[node_id]))
@@ -464,10 +558,13 @@ def collate(graphs: list[QueryGraph]) -> GraphBatch:
 
     Vectorized: all grouping happens on the per-graph arrays cached on
     each :class:`QueryGraph`; produces batches identical to
-    :func:`collate_reference` (tested property-style).
+    :func:`collate_reference` (tested property-style).  Feature
+    matrices come out in the active inference dtype — float32 under
+    :class:`repro.nn.float32_inference`, the native float64 otherwise.
     """
     if not graphs:
         raise ValueError("cannot collate an empty list of graphs")
+    target = inference_dtype()
     arrays = [g.arrays for g in graphs]
     sizes = np.asarray([g.n_nodes for g in graphs], dtype=np.int64)
     offsets = np.concatenate([[0], np.cumsum(sizes)])
@@ -484,7 +581,7 @@ def collate(graphs: list[QueryGraph]) -> GraphBatch:
             rows = a.type_rows.get(node_type)
             if rows is not None:
                 row_parts.append(rows + offsets[i])
-                feature_parts.append(a.type_features[node_type])
+                feature_parts.append(a.type_features_as(target)[node_type])
         if not row_parts:
             continue
         type_rows[node_type] = np.concatenate(row_parts)
@@ -586,6 +683,144 @@ def as_batches(graphs, batch_size: int) -> list[GraphBatch]:
     if graphs and isinstance(graphs[0], GraphBatch):
         return graphs
     return collate_chunks(graphs, batch_size)
+
+
+# ----------------------------------------------------------------------
+# Mega-batching (cross-decision serving path)
+# ----------------------------------------------------------------------
+def _merge_stage_dicts(stage_dicts: list[dict[str, StageSlice]],
+                       node_offsets: np.ndarray) -> dict[str, StageSlice]:
+    """Merge per-batch stage dicts with node-id and segment offsets.
+
+    Receiver rows (sorted within each batch) stay globally sorted
+    because node offsets increase with batch index, so the merged
+    slices are exactly what a joint collation would have produced.
+    """
+    merged: dict[str, StageSlice] = {}
+    for node_type in NODE_TYPES:
+        recv_parts: list[np.ndarray] = []
+        src_parts: list[np.ndarray] = []
+        seg_parts: list[np.ndarray] = []
+        recv_total = 0
+        for slices, offset in zip(stage_dicts, node_offsets):
+            stage = slices.get(node_type)
+            if stage is None:
+                continue
+            recv_parts.append(stage.recv_rows + offset)
+            src_parts.append(stage.edge_src + offset)
+            seg_parts.append(stage.edge_seg + recv_total)
+            recv_total += stage.recv_rows.size
+        if not recv_parts:
+            continue
+        merged[node_type] = StageSlice(
+            recv_rows=np.concatenate(recv_parts),
+            edge_src=np.concatenate(src_parts),
+            edge_seg=np.concatenate(seg_parts))
+    return merged
+
+
+def mega_mergeable(batch: GraphBatch) -> bool:
+    """Whether merging this batch into a mega-batch stays bitwise exact.
+
+    Merging changes the row count of every encoder and combiner GEMM;
+    those are row-invariant for >= 2 rows, but a single-row matmul
+    dispatches to a different BLAS kernel whose result can differ at
+    the last ulp.  A batch is safe to merge when every per-type feature
+    matrix and every staged-stage receiver slice has at least 2 rows —
+    candidate batches (>= 2 placements of one plan) always do.  The
+    readout GEMMs are exempt: merged batches replay them per source
+    segment at the original shapes.
+    """
+    for features in batch.type_features.values():
+        if features.shape[0] < 2:
+            return False
+    for slices in (batch.ops_to_hw, batch.hw_to_ops,
+                   *batch.flow_levels):
+        for stage in slices.values():
+            if 0 < stage.recv_rows.size < 2:
+                return False
+    return True
+
+
+def merge_batches(batches: Sequence[GraphBatch]) -> GraphBatch:
+    """Fuse pre-collated batches into one mega-batch (pure arrays).
+
+    The cross-decision serving primitive: many independent requests'
+    candidate batches (heterogeneous plans included — this is
+    :func:`collate_candidates` generalized across plans) merge into one
+    disjoint union, so every message-passing stage and GEMM of an
+    inference forward runs once per *wave* instead of once per batch.
+    The staged fields are field-for-field what collating all source
+    graphs jointly would produce; ``neighbor_rounds`` edges are grouped
+    per source batch (same receivers and edge multisets, so the
+    ``traditional`` scheme sums the same messages in a different
+    order — callers needing its exact accumulation order score batches
+    separately).
+
+    The input batches' graph counts are recorded as
+    ``readout_segments``: inference readouts replay the original
+    per-batch GEMM shapes, which keeps merged float64 predictions
+    **bitwise identical** to scoring each batch on its own, provided
+    every source batch holds at least 2 graphs (single-row GEMMs
+    dispatch to a different BLAS kernel — callers route single-graph
+    batches around the merge; see
+    ``Costream.merged_inference_batches``).
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("cannot merge an empty list of batches")
+    if len(batches) == 1:
+        return batches[0]
+    node_offsets = np.concatenate(
+        [[0], np.cumsum([b.n_nodes for b in batches])])
+    graph_offsets = np.concatenate(
+        [[0], np.cumsum([b.n_graphs for b in batches])])
+    graph_id = np.concatenate([b.graph_id + graph_offsets[i]
+                               for i, b in enumerate(batches)])
+
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        row_parts = []
+        feature_parts = []
+        for i, batch in enumerate(batches):
+            rows = batch.type_rows.get(node_type)
+            if rows is not None:
+                row_parts.append(rows + node_offsets[i])
+                feature_parts.append(batch.type_features[node_type])
+        if not row_parts:
+            continue
+        type_rows[node_type] = np.concatenate(row_parts)
+        type_features[node_type] = np.concatenate(feature_parts, axis=0)
+
+    offsets = node_offsets[:-1]
+    ops_to_hw = _merge_stage_dicts([b.ops_to_hw for b in batches],
+                                   offsets)
+    hw_to_ops = _merge_stage_dicts([b.hw_to_ops for b in batches],
+                                   offsets)
+    n_levels = max(len(b.flow_levels) for b in batches)
+    flow_levels = []
+    for level in range(n_levels):
+        contributors = [(b.flow_levels[level], offsets[i])
+                        for i, b in enumerate(batches)
+                        if level < len(b.flow_levels)]
+        flow_levels.append(_merge_stage_dicts(
+            [slices for slices, _ in contributors],
+            np.asarray([offset for _, offset in contributors])))
+    neighbor_rounds = _merge_stage_dicts(
+        [b.neighbor_rounds for b in batches], offsets)
+    readout_segments = np.concatenate(
+        [b.readout_segments if b.readout_segments is not None
+         else np.asarray([b.n_graphs], dtype=np.int64)
+         for b in batches])
+
+    return GraphBatch(n_nodes=int(node_offsets[-1]),
+                      n_graphs=int(graph_offsets[-1]),
+                      graph_id=graph_id, type_rows=type_rows,
+                      type_features=type_features, ops_to_hw=ops_to_hw,
+                      hw_to_ops=hw_to_ops, flow_levels=flow_levels,
+                      neighbor_rounds=neighbor_rounds,
+                      readout_segments=readout_segments)
 
 
 # ----------------------------------------------------------------------
@@ -730,8 +965,28 @@ def _candidate_parts(plan_features: PlanFeatures) -> dict:
             codes, arrays.flow_src[at_level], arrays.flow_dst[at_level],
             restrict_types=None))
 
-    # Symmetric-neighborhood flow groups (forward, then backward), per
-    # receiver type, in plan-local coordinates.
+    cached = {"n_ops": n_ops, "type_pos": type_pos,
+              "type_code": codes, "max_depth": max_depth,
+              "level_slices": level_slices}
+    plan_features.__dict__["_cand_parts"] = cached
+    return cached
+
+
+def _candidate_flow_groups(plan_features: PlanFeatures,
+                           parts: dict) -> dict:
+    """Symmetric-neighborhood flow groups (forward, then backward), per
+    receiver type, in plan-local coordinates.
+
+    Only the ``traditional`` message-passing ablation consumes these
+    (via ``neighbor_rounds``), so they are built on first request and
+    cached alongside the eager candidate parts.
+    """
+    cached = parts.get("flow_groups")
+    if cached is not None:
+        return cached
+    arrays = plan_features.arrays
+    codes = arrays.type_codes
+    type_pos = parts["type_pos"]
     flow_groups: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
     for src_e, dst_e in ((arrays.flow_src, arrays.flow_dst),
                          (arrays.flow_dst, arrays.flow_src)):
@@ -740,12 +995,8 @@ def _candidate_parts(plan_features: PlanFeatures) -> dict:
             mask = dst_codes == _TYPE_CODE[node_type]
             flow_groups.setdefault(node_type, []).append(
                 (src_e[mask], type_pos[dst_e[mask]]))
-
-    cached = {"n_ops": n_ops, "type_pos": type_pos,
-              "type_code": codes, "max_depth": max_depth,
-              "level_slices": level_slices, "flow_groups": flow_groups}
-    plan_features.__dict__["_cand_parts"] = cached
-    return cached
+    parts["flow_groups"] = flow_groups
+    return flow_groups
 
 
 def _tile(local: np.ndarray, shifts: np.ndarray) -> np.ndarray:
@@ -757,8 +1008,8 @@ def _tile(local: np.ndarray, shifts: np.ndarray) -> np.ndarray:
 
 def collate_candidates(plan_features: PlanFeatures,
                        placements: Sequence[Placement],
-                       host_features: dict[str, np.ndarray]
-                       ) -> GraphBatch:
+                       host_features: dict[str, np.ndarray],
+                       neighbor_rounds: bool = True) -> GraphBatch:
     """Collate many placements of ONE plan directly into a batch.
 
     The placement optimizer's hot path: the operator part of every
@@ -768,8 +1019,13 @@ def collate_candidates(plan_features: PlanFeatures,
     ``collate([build_graph(plan, p, ...) for p in placements])`` would
     (the collation-equivalence test covers it) — without constructing
     any intermediate ``QueryGraph``.  Every placement must cover every
-    operator (raises ``ValueError`` otherwise); callers needing the
-    ``traditional``-scheme ``neighbor_rounds`` get them too.
+    operator (raises ``ValueError`` otherwise).
+
+    ``neighbor_rounds=False`` skips the ``traditional``-scheme
+    neighborhood groups (the batch carries an empty dict) — only that
+    ablation reads them, so staged-scheme callers
+    (``Costream.collate_placements``) drop ~a quarter of the collation
+    work.
     """
     if not placements:
         raise ValueError("cannot collate an empty list of placements")
@@ -829,6 +1085,8 @@ def collate_candidates(plan_features: PlanFeatures,
     host_rows = (np.concatenate(host_row_parts) if host_total
                  else _EMPTY_INDEX)
 
+    target = inference_dtype()
+    plan_type_features = arrays.type_features_as(target)
     type_rows: dict[str, np.ndarray] = {}
     type_features: dict[str, np.ndarray] = {}
     for node_type in NODE_TYPES[:-1]:
@@ -837,10 +1095,11 @@ def collate_candidates(plan_features: PlanFeatures,
             continue
         type_rows[node_type] = _tile(local, offsets)
         type_features[node_type] = np.tile(
-            arrays.type_features[node_type], (n_cands, 1))
+            plan_type_features[node_type], (n_cands, 1))
     if host_total:
         type_rows["host"] = host_rows
-        type_features["host"] = np.vstack(host_vectors)
+        type_features["host"] = np.vstack(host_vectors).astype(
+            target, copy=False)
 
     ph_src_arr = np.asarray(ph_src, dtype=np.int64)
     ph_seg_arr = np.asarray(ph_seg, dtype=np.int64)
@@ -873,32 +1132,36 @@ def collate_candidates(plan_features: PlanFeatures,
     # Symmetric neighborhood: flow forward, flow backward, placement
     # forward (host receivers), placement backward (operator
     # receivers) — the reference group order.
-    neighbor_rounds: dict[str, StageSlice] = {}
-    for code, node_type in enumerate(NODE_TYPES[:-1]):
-        local = arrays.type_rows.get(node_type)
-        if local is None:
-            continue
-        recv_shift = np.arange(n_cands, dtype=np.int64) * local.size
-        group_src = [_tile(src, offsets)
-                     for src, _ in parts["flow_groups"][node_type]]
-        group_seg = [_tile(seg, recv_shift)
-                     for _, seg in parts["flow_groups"][node_type]]
-        if code in hw_src:
-            group_src.append(np.asarray(hw_src[code], dtype=np.int64))
-            group_seg.append(np.asarray(hw_seg[code], dtype=np.int64))
-        neighbor_rounds[node_type] = StageSlice(
-            recv_rows=type_rows[node_type],
-            edge_src=np.concatenate(group_src) if group_src
-            else _EMPTY_INDEX,
-            edge_seg=np.concatenate(group_seg) if group_seg
-            else _EMPTY_INDEX)
-    if host_total:
-        neighbor_rounds["host"] = StageSlice(recv_rows=host_rows,
-                                             edge_src=ph_src_arr,
-                                             edge_seg=ph_seg_arr)
+    rounds: dict[str, StageSlice] = {}
+    if neighbor_rounds:
+        flow_groups = _candidate_flow_groups(plan_features, parts)
+        for code, node_type in enumerate(NODE_TYPES[:-1]):
+            local = arrays.type_rows.get(node_type)
+            if local is None:
+                continue
+            recv_shift = np.arange(n_cands, dtype=np.int64) * local.size
+            group_src = [_tile(src, offsets)
+                         for src, _ in flow_groups[node_type]]
+            group_seg = [_tile(seg, recv_shift)
+                         for _, seg in flow_groups[node_type]]
+            if code in hw_src:
+                group_src.append(np.asarray(hw_src[code],
+                                            dtype=np.int64))
+                group_seg.append(np.asarray(hw_seg[code],
+                                            dtype=np.int64))
+            rounds[node_type] = StageSlice(
+                recv_rows=type_rows[node_type],
+                edge_src=np.concatenate(group_src) if group_src
+                else _EMPTY_INDEX,
+                edge_seg=np.concatenate(group_seg) if group_seg
+                else _EMPTY_INDEX)
+        if host_total:
+            rounds["host"] = StageSlice(recv_rows=host_rows,
+                                        edge_src=ph_src_arr,
+                                        edge_seg=ph_seg_arr)
 
     return GraphBatch(n_nodes=n_nodes, n_graphs=n_cands,
                       graph_id=graph_id, type_rows=type_rows,
                       type_features=type_features, ops_to_hw=ops_to_hw,
                       hw_to_ops=hw_to_ops, flow_levels=flow_levels,
-                      neighbor_rounds=neighbor_rounds)
+                      neighbor_rounds=rounds)

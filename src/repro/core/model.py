@@ -37,6 +37,34 @@ __all__ = ["CostreamGNN", "MemberStack", "MESSAGE_SCHEMES"]
 MESSAGE_SCHEMES = ("staged", "traditional")
 
 
+def _segmented_readout(readout, pooled: np.ndarray,
+                       segments: np.ndarray | None,
+                       axis: int) -> np.ndarray:
+    """Readout MLP over pooled states, one GEMM per merged segment.
+
+    For directly collated batches (``segments is None``) this is one
+    readout call.  For batches produced by
+    :func:`repro.core.graph.merge_batches` it replays the readout with
+    each source batch's original row count: the final ``(n, hidden) @
+    (hidden, 1)`` GEMM is the one kernel whose per-row results depend
+    on ``n`` (BLAS switches kernels with the row count), so the merged
+    forward would otherwise drift from per-batch scoring at the last
+    ulp.  ``axis`` is the graph axis: 0 for ``(n_graphs, hidden)``
+    single-member pooled states, 1 for ``(K, n_graphs, hidden)`` member
+    stacks.
+    """
+    if segments is None:
+        return np.squeeze(readout.forward_array(pooled), axis=-1)
+    outputs = []
+    start = 0
+    index = [slice(None)] * pooled.ndim
+    for count in segments:
+        index[axis] = slice(start, start + int(count))
+        outputs.append(readout.forward_array(pooled[tuple(index)]))
+        start += int(count)
+    return np.squeeze(np.concatenate(outputs, axis=axis), axis=-1)
+
+
 class CostreamGNN(Module):
     """One cost-metric head over the joint operator-resource graph.
 
@@ -150,7 +178,8 @@ class CostreamGNN(Module):
                                                   simultaneous=True)
         pooled = _flat_scatter_add(batch.flat_graph_id(self.hidden_dim),
                                    hidden, batch.n_graphs)
-        return np.squeeze(self.readout.forward_array(pooled), axis=-1)
+        return _segmented_readout(self.readout, pooled,
+                                  batch.readout_segments, axis=0)
 
     def _apply_stage_arrays(self, hidden: np.ndarray,
                             slices: dict[str, StageSlice],
@@ -395,4 +424,5 @@ class MemberStack:
         pooled = self._aggregate(
             batch.member_flat_graph_id(hidden_dim, size),
             hidden.reshape(size, n_nodes, hidden_dim), batch.n_graphs)
-        return np.squeeze(self.readout.forward_array(pooled), axis=-1)
+        return _segmented_readout(self.readout, pooled,
+                                  batch.readout_segments, axis=1)

@@ -101,8 +101,16 @@ class CostModel:
     def fit(self, graphs: list[QueryGraph], labels: np.ndarray,
             val_graphs: list[QueryGraph] | None = None,
             val_labels: np.ndarray | None = None,
-            epochs: int | None = None) -> TrainingHistory:
-        """Train until convergence or the epoch budget is exhausted."""
+            epochs: int | None = None, pool=None) -> TrainingHistory:
+        """Train until convergence or the epoch budget is exhausted.
+
+        ``pool`` (a :class:`repro.serving.WorkerPool`) opts in to
+        sharding each mini-batch's gradient computation across worker
+        processes (:func:`repro.serving.sharded_loss_and_grad`):
+        deterministic for a fixed pool size, equal to the unsharded
+        step up to float64 round-off, and falling back to the taped
+        single-process path for configurations without a manual step.
+        """
         labels = np.asarray(labels, dtype=np.float64)
         rng = np.random.default_rng(self.seed)
         if val_graphs is None:
@@ -148,6 +156,10 @@ class CostModel:
         if loss_kind == "auto":
             loss_kind = "msle" if self.is_regression else "bce"
 
+        if pool is not None:
+            # Imported here: repro.serving builds on repro.core.
+            from ..serving.pool import sharded_loss_and_grad
+
         self.network.train()
         for epoch in range(budget):
             optimizer.lr = self.config.learning_rate * (
@@ -158,6 +170,21 @@ class CostModel:
             manual_step = self.network.supports_manual_step()
             for start in range(0, len(order), self.config.batch_size):
                 rows = order[start:start + self.config.batch_size]
+                if pool is not None and manual_step and len(rows) > 1:
+                    # Pool-sharded gradient step: one collation and one
+                    # loss_and_grad per shard, combined by graph count.
+                    shards = [rows[part]
+                              for part in pool.shard_indices(len(rows))]
+                    pairs = [(collate([graphs[i] for i in shard]),
+                              labels[shard]) for shard in shards]
+                    optimizer.zero_grad()
+                    loss_value = sharded_loss_and_grad(
+                        self.network, pairs, loss_kind, pool)
+                    clip_grad_norm(parameters, self.config.grad_clip)
+                    optimizer.step()
+                    epoch_loss += loss_value
+                    n_batches += 1
+                    continue
                 batch = collate([graphs[i] for i in rows])
                 if manual_step:
                     optimizer.zero_grad()

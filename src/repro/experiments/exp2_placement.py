@@ -14,6 +14,7 @@ from ..query.datatypes import DataType, TupleSchema
 from ..query.generator import QueryGenerator
 from ..query.operators import Filter, Sink, Source
 from ..query.plan import QueryPlan
+from ..serving import DecisionBatcher, DecisionRequest
 from ..simulator.result import QueryMetrics
 from ..simulator.runtime import DSPSSimulator
 from ..simulator.selectivity import SelectivityEstimator
@@ -43,6 +44,12 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
     heuristic candidates and (c) by the flat-vector baseline over the
     *same* candidates; the reported speed-up is the simulated
     processing-latency ratio vs (a).
+
+    COSTREAM placements come from the cross-decision throughput engine
+    (:class:`repro.serving.DecisionBatcher`): all of a query type's
+    decisions are served as ONE wave — one mega-batch, one ensemble
+    pass per metric — with per-candidate predictions bitwise identical
+    to deciding each query separately (PERFORMANCE.md).
     """
     scale = context.scale
     rng = np.random.default_rng(context.seed + 21)
@@ -50,12 +57,16 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
     estimator = SelectivityEstimator(seed=context.seed)
     model = context.placement_model
     flat = context.flat_vector
+    batcher = DecisionBatcher(model, objective="processing_latency")
 
     rows: list[dict] = []
     for type_name, method, with_agg in _QUERY_TYPES:
         generator = QueryGenerator(default_workload_ranges(), seed=rng)
-        costream_speedups: list[float] = []
-        flat_speedups: list[float] = []
+        # Phase 1 — enumerate the wave.  The RNG draw order per query
+        # (generate, sample cluster, enumerate candidates) matches the
+        # original per-query loop exactly, so the workload is unchanged.
+        requests: list[DecisionRequest] = []
+        baselines: list[float] = []
         for q in range(scale.queries_per_type):
             plan = getattr(generator, method)(with_aggregation=with_agg)
             cluster = sample_cluster(rng, int(rng.integers(5, 9)))
@@ -63,18 +74,31 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
             heuristic = enumerator.default_placement(plan)
             baseline_run = simulator.run(plan, heuristic, cluster,
                                          seed=1000 + q)
-            baseline_lp = max(baseline_run.processing_latency_ms, 1e-3)
+            baselines.append(max(baseline_run.processing_latency_ms,
+                                 1e-3))
             candidates = enumerator.enumerate(plan, scale.n_candidates)
-            selectivities = estimator.estimate(plan)
+            requests.append(DecisionRequest(
+                plan=plan, cluster=cluster,
+                selectivities=estimator.estimate(plan),
+                candidates=tuple(candidates)))
 
-            chosen = _choose_with_costream(model, plan, cluster, candidates,
-                                           selectivities)
-            optimized = simulator.run(plan, chosen, cluster, seed=2000 + q)
+        # Phase 2 — one batched wave decides every query of this type.
+        decisions = batcher.decide(requests)
+
+        # Phase 3 — play the chosen placements out on the simulator.
+        costream_speedups: list[float] = []
+        flat_speedups: list[float] = []
+        for q, (request, decision) in enumerate(zip(requests, decisions)):
+            plan, cluster = request.plan, request.cluster
+            baseline_lp = baselines[q]
+            optimized = simulator.run(plan, decision.placement, cluster,
+                                      seed=2000 + q)
             costream_speedups.append(
                 baseline_lp / max(optimized.processing_latency_ms, 1e-3))
 
-            chosen_flat = _choose_with_flat(flat, plan, cluster, candidates,
-                                            selectivities)
+            chosen_flat = _choose_with_flat(flat, plan, cluster,
+                                            list(request.candidates),
+                                            request.selectivities)
             flat_run = simulator.run(plan, chosen_flat, cluster,
                                      seed=3000 + q)
             flat_speedups.append(
@@ -86,22 +110,6 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
             "n": scale.queries_per_type,
         })
     return rows
-
-
-def _choose_with_costream(model, plan, cluster, candidates,
-                          selectivities):
-    # Featurize the plan once and collate once; the shared batches feed
-    # all three metric ensembles (see PERFORMANCE.md).
-    batches = model.collate_placements(plan, candidates, cluster,
-                                       selectivities)
-    latency = model.predict_metric("processing_latency", batches)
-    feasible = (model.predict_metric("success", batches) >= 0.5) \
-        & (model.predict_metric("backpressure", batches) < 0.5)
-    order = np.argsort(latency)
-    for index in order:
-        if feasible[index]:
-            return candidates[index]
-    return candidates[int(order[0])]
 
 
 def _choose_with_flat(flat: FlatVectorModel, plan, cluster, candidates,
@@ -132,15 +140,18 @@ def run_monitoring(context: ExperimentContext) -> list[dict]:
     """Fig. 10: slow-down and monitoring overhead of an online scheduler.
 
     A linear filter query is swept over event rates and selectivities.
-    COSTREAM places it up front; the baseline starts from the heuristic
-    placement, monitors, and migrates operators.  We report the initial
-    slow-down factor and the time the baseline needs to become
-    competitive with COSTREAM's placement (the monitoring overhead).
+    COSTREAM places it up front (all sweep points served as one
+    :class:`repro.serving.DecisionBatcher` wave); the baseline starts
+    from the heuristic placement, monitors, and migrates operators.  We
+    report the initial slow-down factor and the time the baseline needs
+    to become competitive with COSTREAM's placement (the monitoring
+    overhead).
     """
     scale = context.scale
     rng = np.random.default_rng(context.seed + 43)
     simulator = DSPSSimulator()
     model = context.placement_model
+    batcher = DecisionBatcher(model, objective="processing_latency")
 
     combos = [(rate, selectivity)
               for rate in _MONITORING_RATES
@@ -148,22 +159,33 @@ def run_monitoring(context: ExperimentContext) -> list[dict]:
     rng.shuffle(combos)
     combos = combos[:scale.monitoring_runs]
 
-    rows: list[dict] = []
-    for run_index, (rate, selectivity) in enumerate(sorted(combos)):
+    requests: list[DecisionRequest] = []
+    enumerators: list[HeuristicPlacementEnumerator] = []
+    for rate, selectivity in sorted(combos):
         plan = _linear_filter_query(float(rate), float(selectivity))
         cluster = sample_cluster(rng, 6)
         enumerator = HeuristicPlacementEnumerator(cluster, seed=rng)
         candidates = enumerator.enumerate(plan, scale.n_candidates)
-        chosen = _choose_with_costream(model, plan, cluster, candidates,
-                                       {"filter1": selectivity})
+        enumerators.append(enumerator)
+        requests.append(DecisionRequest(
+            plan=plan, cluster=cluster,
+            selectivities={"filter1": selectivity},
+            candidates=tuple(candidates)))
+    decisions = batcher.decide(requests)
+
+    rows: list[dict] = []
+    for run_index, ((rate, selectivity), request, decision) in \
+            enumerate(zip(sorted(combos), requests, decisions)):
+        plan, cluster = request.plan, request.cluster
         # Play COSTREAM's placement out on the *same* fluid simulator
         # the monitoring baseline runs on, so latencies are comparable.
-        target_lp = _fluid_latency_ms(plan, chosen, cluster,
+        target_lp = _fluid_latency_ms(plan, decision.placement, cluster,
                                       seed=500 + run_index)
 
         scheduler = OnlineMonitoringScheduler(cluster,
                                               seed=context.seed + run_index)
-        result = scheduler.run(plan, enumerator.default_placement(plan))
+        result = scheduler.run(
+            plan, enumerators[run_index].default_placement(plan))
         slowdown = result.initial_latency_ms / max(target_lp, 1e-3)
         overhead = result.time_to_reach(target_lp * 1.1)
         rows.append({

@@ -61,14 +61,21 @@ def _score_context_model(context: ExperimentContext, metric: str) -> dict:
 
 
 def run_featurization(context: ExperimentContext) -> list[dict]:
-    """Fig. 12: E2E-latency q-error per featurization scheme."""
+    """Fig. 12: E2E-latency q-error per featurization scheme.
+
+    All three modes train fresh models under the identical protocol
+    and seed, so the rows differ in the featurization scheme ONLY.
+    (The ablation previously scored the context's already-trained
+    model for the ``full`` row — a different initialization seed —
+    which conflated seed luck with the scheme and produced the
+    pre-existing "full worse than query-only" seed failure; with the
+    apples-to-apples protocol the paper's monotone shape holds at
+    small scale across seeds.)
+    """
     rows: list[dict] = []
     for mode in ("query_only", "placement_only", "full"):
-        if mode == "full":
-            scores = _score_context_model(context, "e2e_latency")
-        else:
-            scores = _train_and_score(context, "e2e_latency",
-                                      Featurizer(mode))
+        scores = _train_and_score(context, "e2e_latency",
+                                  Featurizer(mode))
         rows.append({"featurization": _MODE_LABELS[mode],
                      "q50": scores["q50"], "q95": scores["q95"]})
     return rows

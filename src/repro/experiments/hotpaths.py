@@ -39,6 +39,7 @@ from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementOptimizer
 from ..query.generator import QueryGenerator
 from ..query.plan import QueryPlan
+from ..serving import DecisionBatcher, DecisionRequest, WorkerPool
 from .scale import ExperimentScale, get_scale
 
 __all__ = ["run_hotpath_benchmarks", "EQUIVALENCE_TOLERANCE",
@@ -347,6 +348,139 @@ def _bench_decisions(scale: ExperimentScale, repeats: int,
     }
 
 
+def _throughput_model(scale: ExperimentScale) -> Costream:
+    config = TrainingConfig(hidden_dim=scale.hidden_dim)
+    model = Costream(metrics=_DECISION_METRICS,
+                     ensemble_size=scale.ensemble_size, config=config,
+                     seed=0)
+    for ensemble in model.ensembles.values():
+        for member in ensemble.members:
+            member.network.eval()
+    return model
+
+
+def _throughput_requests(scale: ExperimentScale,
+                         n_requests: int) -> list[DecisionRequest]:
+    rng = np.random.default_rng(29)
+    generator = QueryGenerator(seed=rng)
+    return [DecisionRequest(plan=generator.generate(),
+                            cluster=sample_cluster(
+                                rng, int(rng.integers(4, 8))),
+                            n_candidates=scale.n_candidates, seed=index)
+            for index in range(n_requests)]
+
+
+def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
+                               n_requests: int,
+                               pool_size: int = 0) -> dict:
+    """Cross-decision serving: one mega-batched wave vs sequential
+    ``optimize`` calls over the same mixed-plan decision stream.
+
+    Both sides run the shipped fast path end to end (enumerate,
+    featurize, collate, predict 3 metrics, rank); the wave amortizes
+    the per-decision stage scheduling and ensemble dispatch across the
+    whole stream.  float64 wave decisions must be bitwise identical to
+    the sequential path; the float32 end-to-end wave must stay within
+    :data:`FLOAT32_TOLERANCE` at the *decision* level and never flip a
+    chosen placement.  ``pool_size > 0`` additionally runs the wave on
+    a fork-backed :class:`repro.serving.WorkerPool` once and checks it
+    returns the identical decisions.
+    """
+    model = _throughput_model(scale)
+    optimizer = PlacementOptimizer(model, objective="processing_latency")
+    batcher = DecisionBatcher(model, objective="processing_latency")
+    requests = _throughput_requests(scale, n_requests)
+
+    def run_sequential():
+        return [optimizer.optimize(request.plan, request.cluster,
+                                   n_candidates=request.n_candidates,
+                                   seed=request.seed)
+                for request in requests]
+
+    # Decision-level equivalence: per-candidate objectives, feasibility
+    # masks and chosen placements of the wave vs the sequential path.
+    candidates = [batcher._candidates_for(request)
+                  for request in requests]
+    wave_values, wave_feasible, _ = batcher.score_wave(requests,
+                                                       candidates)
+    sequential_parts = [
+        _fast_decision(model, request.plan, request.cluster,
+                       request.n_candidates, "processing_latency",
+                       seed=request.seed)
+        for request in requests]
+    seq_values = np.concatenate([objective
+                                 for _, objective, _ in sequential_parts])
+    seq_feasible = np.concatenate([feasible
+                                   for _, _, feasible in sequential_parts])
+    float64_delta = float(np.max(np.abs(wave_values - seq_values)))
+    batched_decisions = batcher.decide(requests)
+    sequential_decisions = run_sequential()
+    decisions_agree = bool(
+        np.array_equal(wave_feasible, seq_feasible)
+        and all(batched.placement == sequential.placement
+                and batched.predicted_objective
+                == sequential.predicted_objective
+                for batched, sequential
+                in zip(batched_decisions, sequential_decisions)))
+
+    # float32 end-to-end: featurization and collation run inside the
+    # context, so the whole wave is single-precision.
+    with float32_inference():
+        batcher.decide(requests)  # warm float32 stacks, off-clock
+        float32_s = _best_of(lambda: batcher.decide(requests), repeats)
+        float32_values, _, _ = batcher.score_wave(requests, candidates)
+        float32_decisions = batcher.decide(requests)
+    float32_delta = float(np.max(
+        np.abs(float32_values - wave_values)
+        / (np.abs(wave_values) + 1e-9)))
+    float32_agree = all(
+        float32.placement == batched.placement
+        for float32, batched in zip(float32_decisions, batched_decisions))
+
+    batcher.decide(requests)  # warm-up outside the clock
+    batched_s, sequential_s = _interleaved(
+        lambda: batcher.decide(requests), run_sequential, repeats)
+
+    result = {
+        "n_requests": n_requests,
+        "n_candidates": scale.n_candidates,
+        "ensemble_size": scale.ensemble_size,
+        "metrics_per_decision": len(_DECISION_METRICS),
+        "batched_s_per_decision": batched_s / n_requests,
+        "sequential_s_per_decision": sequential_s / n_requests,
+        "decisions_per_s_batched": n_requests / max(batched_s, 1e-12),
+        "decisions_per_s_sequential": n_requests / max(sequential_s,
+                                                       1e-12),
+        "speedup": sequential_s / max(batched_s, 1e-12),
+        "float64_max_abs_delta": float64_delta,
+        "decisions_agree": decisions_agree,
+        "float32_s_per_decision": float32_s / n_requests,
+        "float32_speedup": sequential_s / max(float32_s, 1e-12),
+        "float32_max_rel_delta": float32_delta,
+        "float32_decisions_agree": bool(float32_agree),
+        "float32_tolerance": FLOAT32_TOLERANCE,
+    }
+    if pool_size > 0:
+        with WorkerPool(processes=pool_size) as pool:
+            pooled_batcher = DecisionBatcher(
+                model, objective="processing_latency", pool=pool)
+            pooled = pooled_batcher.decide(requests)  # fork + warm-up
+            pooled_s = _best_of(lambda: pooled_batcher.decide(requests),
+                                repeats)
+            result["pool"] = {
+                "processes": pool_size,
+                "serial_fallback": pool.serial,
+                "pooled_s_per_decision": pooled_s / n_requests,
+                "decisions_per_s_pooled": n_requests / max(pooled_s,
+                                                           1e-12),
+                "matches_single_process": bool(all(
+                    p.placement == b.placement
+                    and p.predicted_objective == b.predicted_objective
+                    for p, b in zip(pooled, batched_decisions))),
+            }
+    return result
+
+
 def _bench_ensemble(dataset: GraphDataset, scale: ExperimentScale,
                     repeats: int) -> dict:
     """Batched-GEMM ensemble inference vs the per-member loop.
@@ -433,13 +567,21 @@ def _bench_epoch(dataset: GraphDataset, scale: ExperimentScale,
 
 
 def run_hotpath_benchmarks(scale_name: str | None = None,
-                           seed: int = 7) -> dict:
-    """Run all hot-path benchmarks; returns the ``BENCH_hotpaths`` dict."""
+                           seed: int = 7, pool_size: int = 0) -> dict:
+    """Run all hot-path benchmarks; returns the ``BENCH_hotpaths`` dict.
+
+    ``pool_size > 0`` additionally exercises the fork-backed worker
+    pool inside the decision-throughput benchmark (the nightly runs
+    pool size 2 once).
+    """
     scale = get_scale(scale_name)
     sizes = {
-        "tiny": {"corpus": 120, "epochs": 2, "plans": 2, "repeats": 2},
-        "small": {"corpus": 400, "epochs": 3, "plans": 3, "repeats": 3},
-        "full": {"corpus": 600, "epochs": 3, "plans": 5, "repeats": 3},
+        "tiny": {"corpus": 120, "epochs": 2, "plans": 2, "repeats": 2,
+                 "wave": 8},
+        "small": {"corpus": 400, "epochs": 3, "plans": 3, "repeats": 3,
+                  "wave": 12},
+        "full": {"corpus": 600, "epochs": 3, "plans": 5, "repeats": 3,
+                 "wave": 16},
     }[scale.name]
 
     import gc
@@ -450,6 +592,10 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
     decision_result = _bench_decisions(scale,
                                        repeats=sizes["repeats"] + 5,
                                        n_plans=sizes["plans"])
+    gc.collect()
+    throughput_result = _bench_decision_throughput(
+        scale, repeats=sizes["repeats"] + 3, n_requests=sizes["wave"],
+        pool_size=pool_size)
 
     collector = BenchmarkCollector(seed=seed)
     traces = collector.collect(sizes["corpus"])
@@ -468,29 +614,43 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
 
     max_delta = max(decision_result["max_abs_prediction_delta"],
                     epoch_result["max_abs_train_loss_delta"],
-                    ensemble_result["float64_max_abs_delta"])
+                    ensemble_result["float64_max_abs_delta"],
+                    throughput_result["float64_max_abs_delta"])
+    decisions_agree = bool(decision_result["decisions_agree"]
+                           and throughput_result["decisions_agree"])
     float32_ok = (ensemble_result["float32_max_rel_delta"]
-                  <= FLOAT32_TOLERANCE)
+                  <= FLOAT32_TOLERANCE
+                  and throughput_result["float32_max_rel_delta"]
+                  <= FLOAT32_TOLERANCE
+                  and throughput_result["float32_decisions_agree"])
     return {
         "benchmark": "hotpaths",
         "scale": scale.name,
         "collate": collate_result,
         "placement_decision": decision_result,
+        "decision_throughput": throughput_result,
         "ensemble_batched": ensemble_result,
         "epoch": epoch_result,
         "equivalence": {
             "tolerance": EQUIVALENCE_TOLERANCE,
             "max_abs_delta": max_delta,
-            "decisions_agree": decision_result["decisions_agree"],
+            "decisions_agree": decisions_agree,
             "float32_max_rel_delta":
-                ensemble_result["float32_max_rel_delta"],
+                max(ensemble_result["float32_max_rel_delta"],
+                    throughput_result["float32_max_rel_delta"]),
             "float32_tolerance": FLOAT32_TOLERANCE,
             "pass": bool(max_delta <= EQUIVALENCE_TOLERANCE
-                         and decision_result["decisions_agree"]
+                         and decisions_agree
                          and float32_ok),
         },
+        # The floors the nightly gate enforces at small scale.  The
+        # decision-throughput floor is parity: the wave's amortization
+        # win is Amdahl-capped by the bitwise-pinned arithmetic share
+        # (~1.06x measured at small scale on one core, ~1.6x at tiny
+        # where the CI gate enforces 1.2x) — PERFORMANCE.md section 8.
         "targets": {
             "placement_decision_speedup": 5.0,
+            "decision_throughput_speedup": 1.0,
             "epoch_speedup": 2.0,
             "collate_speedup": 2.0,
         },
@@ -498,7 +658,12 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
 
 
 def profile_decision(scale_name: str | None = None, top: int = 20) -> None:
-    """cProfile one fast-path placement decision (``--profile`` flag)."""
+    """cProfile the fast-path decision paths (``--profile`` flag).
+
+    Profiles one sequential placement decision and one mega-batched
+    decision wave (:class:`repro.serving.DecisionBatcher`) — the first
+    places to look when a future PR regresses latency or throughput.
+    """
     import cProfile
     import pstats
 
@@ -512,8 +677,21 @@ def profile_decision(scale_name: str | None = None, top: int = 20) -> None:
     cluster = sample_cluster(rng, 6)
     optimizer.optimize(plan, cluster, n_candidates=scale.n_candidates)
 
+    print(f"\n=== one sequential placement decision "
+          f"({scale.n_candidates} candidates) ===")
     profiler = cProfile.Profile()
     profiler.enable()
     optimizer.optimize(plan, cluster, n_candidates=scale.n_candidates)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+
+    batcher = DecisionBatcher(model, objective="processing_latency")
+    requests = _throughput_requests(scale, n_requests=8)
+    batcher.decide(requests)  # warm caches outside the profile
+
+    print("\n=== one mega-batched decision wave (8 requests) ===")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    batcher.decide(requests)
     profiler.disable()
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)

@@ -126,14 +126,17 @@ class ReorderingOptimizer:
     The fast path scores every rewrite's candidates *jointly*: hosts
     are featurized once per cluster, each rewrite's candidates are
     collated directly into batches (no per-ordering
-    :class:`~repro.core.graph.QueryGraph` objects), and each cost
-    metric is predicted in ONE pass over the concatenated batch list —
-    so the `3 metrics x K members` ensemble machinery (weight-stack
-    lookups, batched-GEMM forwards) runs once per decision instead of
-    once per ordering.  Per-rewrite batch boundaries are preserved, so
-    predictions — and therefore the chosen (plan, placement) pair —
-    are identical to the per-rewrite graph-object path retained as
-    :meth:`optimize_reference` (equivalence is tested).
+    :class:`~repro.core.graph.QueryGraph` objects), the batches fuse
+    into ONE mega-batch
+    (:meth:`~repro.core.costream.Costream.merged_inference_batches`),
+    and each cost metric is predicted in ONE batched-GEMM forward over
+    it — so the `3 metrics x K members` ensemble machinery (weight-
+    stack lookups, stage scheduling) runs once per decision instead of
+    once per ordering.  Per-rewrite chunk boundaries are preserved as
+    readout segments, so predictions — and therefore the chosen
+    (plan, placement) pair — are identical to the per-rewrite
+    graph-object path retained as :meth:`optimize_reference`
+    (equivalence is tested).
     """
 
     def __init__(self, model: "Costream",
@@ -212,6 +215,10 @@ class ReorderingOptimizer:
             batches.extend(self.model.collate_placements(
                 rewrite, cands, cluster, selectivities,
                 host_features=host_features))
+        # Mega-batch: all rewrites' candidates fuse into one batch, so
+        # each metric runs ONE batched-GEMM forward for the whole
+        # decision (bitwise identical — per-chunk readout segments).
+        batches = self.model.merged_inference_batches(batches)
         objective_values, feasible = \
             self._placement_optimizer.score(batches)
         return self._select_rewrite(rewrites, candidates,

@@ -32,15 +32,27 @@ class HeuristicPlacementEnumerator:
         self.cluster = cluster
         self._rng = (seed if isinstance(seed, np.random.Generator)
                      else np.random.default_rng(seed))
-        self._bins = cluster.bins(ranges)
-        self._score = {n.node_id: capability_score(n, ranges)
-                       for n in cluster.nodes}
-        self._strongest = max(cluster.node_ids, key=self._score.get)
-        # Bitmask tables for the sampling hot path: node i of
-        # ``node_ids`` is bit ``1 << i``; visited sets become ints.
-        self._node_ids = list(cluster.node_ids)
-        self._bin_list = [self._bins[n] for n in self._node_ids]
-        self._strongest_index = self._node_ids.index(self._strongest)
+        # The capability tables are RNG-free pure functions of the
+        # cluster, and decision serving creates one enumerator per
+        # request — cache them on the cluster (default ranges only) so
+        # repeated decisions against one cluster skip the rebuild.
+        tables = (cluster.__dict__.get("_enumeration_tables")
+                  if ranges is None else None)
+        if tables is None:
+            bins = cluster.bins(ranges)
+            score = {n.node_id: capability_score(n, ranges)
+                     for n in cluster.nodes}
+            strongest = max(cluster.node_ids, key=score.get)
+            # Bitmask tables for the sampling hot path: node i of
+            # ``node_ids`` is bit ``1 << i``; visited sets become ints.
+            node_ids = list(cluster.node_ids)
+            tables = (bins, score, strongest, node_ids,
+                      [bins[n] for n in node_ids],
+                      node_ids.index(strongest))
+            if ranges is None:
+                cluster.__dict__["_enumeration_tables"] = tables
+        (self._bins, self._score, self._strongest, self._node_ids,
+         self._bin_list, self._strongest_index) = tables
 
     # ------------------------------------------------------------------
     def sample(self, plan: QueryPlan) -> Placement:

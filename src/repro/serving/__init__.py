@@ -1,0 +1,24 @@
+"""Cross-decision throughput serving (see PERFORMANCE.md).
+
+The product operation (paper Section V) is one placement decision;
+this package serves *streams* of independent decisions:
+
+* :class:`DecisionBatcher` — accepts a wave of ``(plan, cluster)``
+  requests, featurizes every plan and cluster once, fuses all
+  requests' candidate batches into one mega-batch per wave
+  (:func:`repro.core.graph.merge_batches`), runs ONE batched-GEMM
+  ensemble forward per metric for the whole wave, and scatters
+  per-request argmins back out — bitwise identical to sequential
+  :meth:`repro.placement.PlacementOptimizer.optimize` calls in
+  float64.
+* :class:`WorkerPool` — a persistent, fork-backed process pool with
+  read-only fork-shared model weights that shards decision waves (and
+  ``CostModel.fit`` mini-batch gradients) across cores, with a
+  deterministic serial fallback.
+"""
+
+from .batcher import DecisionBatcher, DecisionRequest
+from .pool import WorkerPool, sharded_loss_and_grad
+
+__all__ = ["DecisionBatcher", "DecisionRequest", "WorkerPool",
+           "sharded_loss_and_grad"]

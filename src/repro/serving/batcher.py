@@ -1,0 +1,163 @@
+"""Mega-batched placement serving: many decisions, one ensemble pass.
+
+A single :meth:`repro.placement.PlacementOptimizer.optimize` call pays
+featurization, collation and the `3 metrics x K members` ensemble
+dispatch for its ~30 candidates.  Streams of independent decisions
+(experiment sweeps, deployment traffic) used to pay that per decision;
+:class:`DecisionBatcher` pays it once per *wave*: every request's
+candidate batch is fused into one mega-batch
+(:func:`repro.core.graph.merge_batches`), each cost metric runs ONE
+batched-GEMM :class:`~repro.core.model.MemberStack` forward over the
+whole wave, and per-request argmins are scattered back out.
+
+Guarantees (see PERFORMANCE.md):
+
+* float64 wave decisions — chosen placements, per-candidate objective
+  values, feasibility masks — are **bitwise identical** to sequential
+  ``optimize`` calls with the same per-request seeds;
+* under :class:`repro.nn.float32_inference` the whole wave runs
+  float32 end-to-end (featurization, collation, GEMMs) within the
+  documented decision-level tolerance;
+* configurations the mega-batch cannot serve exactly (legacy kernels,
+  the ``traditional`` scheme, single-graph candidate batches) fall
+  back to per-request scoring with identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for typing
+    from ..core.costream import Costream
+    from .pool import WorkerPool
+from ..core.graph import featurize_hosts
+from ..hardware.cluster import Cluster
+from ..hardware.placement import Placement
+from ..placement.enumeration import HeuristicPlacementEnumerator
+from ..placement.optimizer import PlacementDecision, PlacementOptimizer
+from ..query.plan import QueryPlan
+
+__all__ = ["DecisionRequest", "DecisionBatcher"]
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One placement decision to serve.
+
+    Mirrors the :meth:`PlacementOptimizer.optimize` signature; a
+    request with the same ``(plan, cluster, n_candidates, seed)``
+    resolves to the same decision the sequential call would make.
+    ``candidates`` optionally supplies pre-enumerated placements
+    (experiment drivers that need the enumeration drawn from a shared
+    RNG stream); the enumerator is skipped then.
+    """
+
+    plan: QueryPlan
+    cluster: Cluster
+    n_candidates: int = 30
+    selectivities: dict[str, float] | None = None
+    seed: int = 0
+    candidates: tuple[Placement, ...] | None = None
+
+
+class DecisionBatcher:
+    """Serves waves of independent placement decisions.
+
+    One instance wraps one :class:`~repro.core.costream.Costream` and
+    objective, like :class:`~repro.placement.PlacementOptimizer` — and
+    reuses its candidate selection, so decisions are identical.  An
+    optional :class:`~repro.serving.pool.WorkerPool` shards waves
+    across processes; without one, the wave runs single-process
+    (deterministic, and the mode every equivalence test pins down).
+    """
+
+    def __init__(self, model: "Costream",
+                 objective: str = "processing_latency",
+                 pool: "WorkerPool | None" = None):
+        self.model = model
+        self.objective = objective
+        self.pool = pool
+        self._optimizer = PlacementOptimizer(model, objective)
+
+    # ------------------------------------------------------------------
+    def decide(self, requests: Iterable[DecisionRequest]
+               ) -> list[PlacementDecision]:
+        """Serve one wave of decisions (order matches the requests)."""
+        requests = list(requests)
+        if not requests:
+            return []
+        if self.pool is not None and len(requests) > 1:
+            return self.pool.run_wave(self, requests)
+        return self.decide_serial(requests)
+
+    def decide_serial(self, requests: Sequence[DecisionRequest]
+                      ) -> list[PlacementDecision]:
+        """The single-process wave: one mega-batch, one pass per metric."""
+        candidates = [self._candidates_for(request)
+                      for request in requests]
+        values, feasible, bounds = self.score_wave(requests, candidates)
+        decisions = []
+        for index, request in enumerate(requests):
+            lo, hi = bounds[index], bounds[index + 1]
+            best, n_feasible = self._optimizer.select(values[lo:hi],
+                                                      feasible[lo:hi])
+            decisions.append(PlacementDecision(
+                placement=candidates[index][best],
+                predicted_objective=float(values[lo + best]),
+                objective=self.objective,
+                candidates_evaluated=len(candidates[index]),
+                feasible_candidates=n_feasible))
+        return decisions
+
+    # ------------------------------------------------------------------
+    def score_wave(self, requests: Sequence[DecisionRequest],
+                   candidates: Sequence[Sequence[Placement]]
+                   ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Joint (objective values, feasibility, request bounds).
+
+        Collates each request's candidates (plan and hosts featurized
+        once per request — clusters shared across requests featurize
+        once per wave), fuses everything into one mega-batch when the
+        model supports it, and runs each metric ensemble exactly once.
+        ``bounds[i]:bounds[i+1]`` is request ``i``'s slice of the flat
+        arrays.
+        """
+        model = self.model
+        host_cache: dict[int, dict[str, np.ndarray]] = {}
+        batches = []
+        for request, cands in zip(requests, candidates):
+            host_features = None
+            if model.featurizer.mode != "query_only":
+                key = id(request.cluster)
+                host_features = host_cache.get(key)
+                if host_features is None:
+                    host_features = featurize_hosts(request.cluster,
+                                                    model.featurizer)
+                    host_cache[key] = host_features
+            batches.append(model.collate_placements(
+                request.plan, list(cands), request.cluster,
+                request.selectivities, host_features=host_features))
+        flat = [batch for request_batches in batches
+                for batch in request_batches]
+        merged = model.merged_inference_batches(flat)
+        values, feasible = self._optimizer.score(merged)
+        bounds = [0]
+        for cands in candidates:
+            bounds.append(bounds[-1] + len(cands))
+        return values, feasible, bounds
+
+    # ------------------------------------------------------------------
+    def _candidates_for(self, request: DecisionRequest
+                        ) -> list[Placement]:
+        """Enumerate exactly as the sequential ``optimize`` would."""
+        if request.candidates is not None:
+            return list(request.candidates)
+        enumerator = HeuristicPlacementEnumerator(request.cluster,
+                                                  seed=request.seed)
+        cands = enumerator.enumerate(request.plan, request.n_candidates)
+        if not cands:
+            raise ValueError("placement enumeration yielded no candidates")
+        return cands

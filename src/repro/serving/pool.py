@@ -1,0 +1,303 @@
+"""Persistent worker pool for waves of decisions and gradient shards.
+
+The numpy substrate holds the GIL for most of a forward, so scaling
+past one core needs processes.  :class:`WorkerPool` wraps a persistent
+``concurrent.futures.ProcessPoolExecutor`` (``fork`` start method):
+
+* **Decision waves** — the model is registered in a module-level table
+  *before* the executor forks its workers, so every worker inherits
+  the trained weights (and lazily builds its member stacks) through
+  fork's copy-on-write memory — nothing is pickled per wave except the
+  requests and decisions.  Weight snapshots follow the
+  :class:`~repro.core.model.MemberStack` staleness rules: the pool
+  holds strong references to the registered parameter arrays and
+  restarts its workers when any is *replaced* (``fit``,
+  ``load_state_dict``); in-place ``param.data`` writes require
+  :meth:`WorkerPool.restart`.
+* **Gradient shards** — :func:`sharded_loss_and_grad` splits one
+  training mini-batch across the workers; weights change every step,
+  so the current ``state_dict`` ships with each task and workers cache
+  only the network skeleton.
+
+Determinism: every request's decision is independent of how a wave is
+sharded (the mega-batch forward is bitwise row-invariant), so pooled
+waves equal single-process waves bitwise.  Gradient shards are
+combined in shard order, making pooled training reproducible for a
+fixed pool size; the serial fallback (``serial=True``, or platforms
+without ``fork``) computes the same shards in-process and is bitwise
+identical to the pooled run — the CI-stable mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..nn import autodiff
+
+if TYPE_CHECKING:
+    from ..core.graph import GraphBatch
+    from ..core.model import CostreamGNN
+    from ..placement.optimizer import PlacementDecision
+    from .batcher import DecisionBatcher, DecisionRequest
+
+__all__ = ["WorkerPool", "sharded_loss_and_grad"]
+
+#: Models registered for fork inheritance, keyed by pool token.  Set in
+#: the parent before its executor starts, copied into every worker by
+#: ``fork``; entries are dropped when the owning pool closes.
+_FORK_MODELS: dict[int, tuple] = {}
+_TOKENS = itertools.count(1)
+
+#: Worker-side caches (live only inside worker processes).
+_WORKER_BATCHERS: dict[int, object] = {}
+_WORKER_NETWORKS: dict[tuple, object] = {}
+
+
+def _fork_available() -> bool:
+    return "fork" in mp.get_all_start_methods()
+
+
+def _release(token: int | None, executor: ProcessPoolExecutor) -> None:
+    """Finalizer target: must not reference the pool object itself."""
+    if token is not None:
+        _FORK_MODELS.pop(token, None)
+    executor.shutdown(wait=False)
+
+
+def _wave_shard(token: int, requests: list, dtype_str: str) -> list:
+    """Worker entry point: serve one shard of a wave serially.
+
+    ``dtype_str`` carries the parent's active inference dtype: the
+    :class:`repro.nn.float32_inference` context is a per-process
+    global, so without it a forked worker would keep whatever dtype
+    was active at fork time and pooled waves would diverge from the
+    serial path.
+    """
+    batcher = _WORKER_BATCHERS.get(token)
+    if batcher is None:
+        from .batcher import DecisionBatcher
+
+        model, objective = _FORK_MODELS[token]
+        batcher = DecisionBatcher(model, objective)
+        _WORKER_BATCHERS[token] = batcher
+    previous = autodiff._INFERENCE_DTYPE[0]
+    autodiff._INFERENCE_DTYPE[0] = np.dtype(dtype_str)
+    try:
+        return batcher.decide_serial(requests)
+    finally:
+        autodiff._INFERENCE_DTYPE[0] = previous
+
+
+def _network_spec(network: "CostreamGNN") -> tuple:
+    return (network.featurizer.mode, network.hidden_dim, network.scheme,
+            network.traditional_rounds)
+
+
+def _grad_shard(spec: tuple, state: dict, batch: "GraphBatch",
+                labels: np.ndarray, loss_kind: str
+                ) -> tuple[float, list[np.ndarray], int]:
+    """Worker entry point: one shard's (loss, parameter grads, size)."""
+    network = _WORKER_NETWORKS.get(spec)
+    if network is None:
+        from ..core.features import Featurizer
+        from ..core.model import CostreamGNN
+
+        mode, hidden_dim, scheme, rounds = spec
+        network = CostreamGNN(Featurizer(mode), hidden_dim=hidden_dim,
+                              scheme=scheme, traditional_rounds=rounds)
+        _WORKER_NETWORKS[spec] = network
+    network.load_state_dict(state)
+    network.zero_grad()
+    loss = network.loss_and_grad(batch, labels, loss_kind)
+    return (loss, [param.grad for param in network.parameters()],
+            batch.n_graphs)
+
+
+class WorkerPool:
+    """Persistent process pool with a deterministic serial fallback.
+
+    ``processes`` is the shard count *and* the worker count; the serial
+    fallback keeps the shard count, so results are independent of the
+    backend.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, processes: int = 2, serial: bool | None = None):
+        self.processes = max(1, int(processes))
+        #: ``True`` runs every shard in-process (same shard math, no
+        #: workers) — the deterministic fallback, forced automatically
+        #: on platforms without ``fork``.
+        self.serial = ((not _fork_available()) if serial is None
+                       else bool(serial))
+        self._executor: ProcessPoolExecutor | None = None
+        self._token: int | None = None
+        self._wave_key: tuple | None = None
+        self._wave_params: list[np.ndarray] | None = None
+        # Safety net for pools dropped without close(): releases the
+        # fork registration (which pins the model) and shuts the
+        # workers down when the pool object is garbage collected.
+        self._finalizer: weakref.finalize | None = None
+
+    @property
+    def size(self) -> int:
+        return self.processes
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and drop the fork registration."""
+        if self._finalizer is not None:
+            self._finalizer()  # idempotent; runs _release once
+            self._finalizer = None
+        self._executor = None
+        self._token = None
+        self._wave_key = None
+        self._wave_params = None
+
+    def restart(self) -> None:
+        """Refork the workers (e.g. after in-place weight writes)."""
+        self.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def shard_indices(self, n: int) -> list[np.ndarray]:
+        """Near-equal contiguous index shards (at most ``processes``)."""
+        parts = np.array_split(np.arange(n), min(self.processes, n))
+        return [part for part in parts if part.size]
+
+    # ------------------------------------------------------------------
+    # Decision waves
+    # ------------------------------------------------------------------
+    def run_wave(self, batcher: "DecisionBatcher",
+                 requests: "Sequence[DecisionRequest]"
+                 ) -> "list[PlacementDecision]":
+        """Shard one wave across the workers (or serve it serially)."""
+        if self.serial or self.processes == 1 or len(requests) < 2:
+            return batcher.decide_serial(requests)
+        self._ensure_wave_workers(batcher)
+        shards = self.shard_indices(len(requests))
+        dtype_str = autodiff.inference_dtype().str
+        futures = [self._executor.submit(
+            _wave_shard, self._token,
+            [requests[i] for i in shard], dtype_str)
+            for shard in shards]
+        decisions = [None] * len(requests)
+        for shard, future in zip(shards, futures):
+            for index, decision in zip(shard, future.result()):
+                decisions[index] = decision
+        return decisions
+
+    def _model_params(self, model) -> list[np.ndarray]:
+        return [param.data
+                for ensemble in model.ensembles.values()
+                for member in ensemble.members
+                for param in member.network.parameters()]
+
+    def _ensure_wave_workers(self, batcher: "DecisionBatcher") -> None:
+        """(Re)fork workers so they hold the batcher's current weights.
+
+        Staleness follows ``MetricEnsemble.member_stack``: strong
+        references + identity sweep over the parameter arrays, so any
+        ``fit`` / ``load_state_dict`` since the last fork is caught.
+        """
+        params = self._model_params(batcher.model)
+        key = (id(batcher.model), batcher.objective)
+        if self._executor is not None:
+            stale = (key != self._wave_key
+                     or len(params) != len(self._wave_params)
+                     or any(a is not b for a, b
+                            in zip(params, self._wave_params)))
+            if stale:
+                self.close()
+        if self._executor is None:
+            token = next(_TOKENS)
+            _FORK_MODELS[token] = (batcher.model, batcher.objective)
+            self._start_executor(token)
+            self._wave_key = key
+            self._wave_params = params
+
+    # ------------------------------------------------------------------
+    # Training gradient shards
+    # ------------------------------------------------------------------
+    def run_grad_shards(self, network: "CostreamGNN",
+                        pairs: list[tuple["GraphBatch", np.ndarray]],
+                        loss_kind: str
+                        ) -> list[tuple[float, list[np.ndarray], int]]:
+        """Per-shard (loss, grads, n_graphs), in shard order.
+
+        The pooled path ships the current ``state_dict`` with every
+        task (weights change each optimizer step); the serial fallback
+        replays the identical per-shard computation in-process, so both
+        backends return bitwise-equal shard results.
+        """
+        if self.serial or self.processes == 1 or len(pairs) == 1:
+            results = []
+            saved = [param.grad for param in network.parameters()]
+            for batch, labels in pairs:
+                network.zero_grad()
+                loss = network.loss_and_grad(batch, labels, loss_kind)
+                results.append(
+                    (loss, [param.grad for param in network.parameters()],
+                     batch.n_graphs))
+                for param in network.parameters():
+                    param.grad = None
+            for param, grad in zip(network.parameters(), saved):
+                param.grad = grad
+            return results
+        self._ensure_executor()
+        spec = _network_spec(network)
+        state = network.state_dict()
+        futures = [self._executor.submit(_grad_shard, spec, state, batch,
+                                         labels, loss_kind)
+                   for batch, labels in pairs]
+        return [future.result() for future in futures]
+
+    def _ensure_executor(self) -> None:
+        if self._executor is None:
+            self._start_executor(token=None)
+
+    def _start_executor(self, token: int | None) -> None:
+        self._token = token
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.processes,
+            mp_context=mp.get_context("fork"))
+        self._finalizer = weakref.finalize(self, _release, token,
+                                           self._executor)
+
+
+def sharded_loss_and_grad(network: "CostreamGNN",
+                          pairs: list[tuple["GraphBatch", np.ndarray]],
+                          loss_kind: str, pool: WorkerPool) -> float:
+    """Whole-mini-batch loss/gradients from per-shard computations.
+
+    Shard losses and gradients combine by graph-count weighting in
+    shard order (``loss = sum(n_s * loss_s) / n``, ``grad = sum(n_s /
+    n * grad_s)``), matching the unsharded mean-loss semantics;
+    gradients accumulate into ``param.grad`` like ``loss_and_grad``.
+    Results are deterministic for a fixed shard count, and agree with
+    the unsharded step to float64 round-off (the per-shard GEMMs reduce
+    over different row counts), which is why pooled training is opt-in.
+    """
+    results = pool.run_grad_shards(network, pairs, loss_kind)
+    total = sum(n for _, _, n in results)
+    parameters = network.parameters()
+    loss_total = 0.0
+    for loss, grads, n in results:
+        weight = n / total
+        loss_total += loss * n
+        for param, grad in zip(parameters, grads):
+            scaled = grad * weight
+            if param.grad is None:
+                param.grad = scaled
+            else:
+                param.grad += scaled
+    return loss_total / total

@@ -132,6 +132,50 @@ class TestCollateCandidates:
                                featurize_hosts(cluster, featurizer))
 
 
+class TestFloat32Collation:
+    """float32 end-to-end collation (see PERFORMANCE.md section 6)."""
+
+    def test_collate_inside_context_is_float32_native(self):
+        from repro.nn import float32_inference
+
+        graphs = _random_graphs(21, n_graphs=6)
+        with float32_inference():
+            batch = collate(graphs)
+        for node_type, features in batch.type_features.items():
+            assert features.dtype == np.float32
+            np.testing.assert_array_equal(batch.type_rows[node_type].dtype,
+                                          np.int64)
+        # The float32 matrices are the one-step cast of the float64
+        # ones — identical to casting at forward time.
+        reference = collate(graphs)
+        for node_type in reference.type_features:
+            np.testing.assert_array_equal(
+                batch.type_features[node_type],
+                reference.type_features[node_type].astype(np.float32))
+        # Index/stage arrays are untouched by the dtype.
+        _assert_slices_equal(batch.hw_to_ops, reference.hw_to_ops)
+        _assert_slices_equal(batch.ops_to_hw, reference.ops_to_hw)
+
+    def test_float64_path_unchanged(self):
+        """Outside the context nothing changes: native float64."""
+        graphs = _random_graphs(22, n_graphs=5)
+        batch = collate(graphs)
+        for features in batch.type_features.values():
+            assert features.dtype == np.float64
+        assert_batches_equal(batch, collate_reference(graphs))
+
+    def test_graphs_built_inside_context_are_float32_native(self):
+        from repro.nn import float32_inference
+
+        with float32_inference():
+            graphs = _random_graphs(23, n_graphs=4)
+            batch = collate(graphs)
+        for graph in graphs:
+            assert all(f.dtype == np.float32 for f in graph.features)
+        for features in batch.type_features.values():
+            assert features.dtype == np.float32
+
+
 class TestPlanFeaturizationCache:
     def test_cached_build_matches_fresh_build(self, tiny_corpus):
         """build_graph with precomputed plan/host features is identical."""

@@ -153,6 +153,39 @@ class TestStackCacheInvalidation:
             ensemble._member_predictions(graphs[:10]),
             ensemble._member_predictions_reference(graphs[:10]))
 
+    def test_in_place_mutation_requires_invalidate(self, dataset,
+                                                   tiny_config):
+        """The documented escape hatch for in-place ``param.data``
+        writes: the identity sweep cannot see them (same array
+        object), so the cached stack serves STALE predictions until
+        ``invalidate_stacks()`` is called — after which the stack is
+        rebuilt and matches the live per-member reference again.
+        Nothing in the repository mutates parameters in place between
+        predictions; external callers that do must use the hatch.
+        """
+        ensemble = MetricEnsemble("throughput", size=2,
+                                  config=tiny_config, seed=7)
+        for member in ensemble.members:
+            member.network.eval()
+        graphs, _ = dataset.metric_view("throughput")
+        stale = ensemble._member_predictions(graphs[:10])
+
+        for member in ensemble.members:
+            for param in member.network.parameters():
+                param.data *= 1.5  # in-place: array identity unchanged
+
+        # The stack snapshot has not noticed: predictions are stale
+        # (bitwise equal to pre-mutation), while the live per-member
+        # reference already sees the new weights.
+        np.testing.assert_array_equal(
+            ensemble._member_predictions(graphs[:10]), stale)
+        reference = ensemble._member_predictions_reference(graphs[:10])
+        assert np.max(np.abs(reference - stale)) > 0.0
+
+        ensemble.invalidate_stacks()
+        np.testing.assert_array_equal(
+            ensemble._member_predictions(graphs[:10]), reference)
+
     def test_member_level_load_invalidates(self, dataset, tiny_config):
         # A member's load_state_dict replaces its parameter arrays;
         # the identity check must catch it without an explicit

@@ -1,0 +1,400 @@
+"""Cross-decision serving: mega-batching, float32 end-to-end, pool.
+
+The throughput engine's contract (PERFORMANCE.md):
+
+* float64 wave decisions are bitwise identical to sequential
+  :meth:`PlacementOptimizer.optimize` calls — chosen placements,
+  per-candidate objectives, feasibility counts;
+* :func:`repro.core.graph.merge_batches` produces exactly the batch a
+  joint collation would (staged fields), and merged predictions equal
+  per-batch predictions bit for bit;
+* under :class:`repro.nn.float32_inference` featurization/collation
+  are float32 end-to-end, bitwise equal to the old cast-at-forward
+  path and within the documented decision-level tolerance of float64;
+* the worker pool returns decisions identical to the single-process
+  wave in every backend (fork and serial fallback), and pool-sharded
+  training is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costream import Costream
+from repro.core.graph import (collate, collate_chunks, mega_mergeable,
+                              merge_batches)
+from repro.core.training import CostModel, TrainingConfig
+from repro.hardware.cluster import sample_cluster
+from repro.nn import float32_inference
+from repro.placement.enumeration import HeuristicPlacementEnumerator
+from repro.placement.optimizer import PlacementOptimizer
+from repro.query.generator import QueryGenerator
+from repro.serving import DecisionBatcher, DecisionRequest, WorkerPool
+from repro.serving.pool import _fork_available
+
+_METRICS = ("processing_latency", "success", "backpressure")
+
+
+def _model(hidden_dim: int = 16, size: int = 2,
+           scheme: str = "staged") -> Costream:
+    config = TrainingConfig(hidden_dim=hidden_dim, scheme=scheme)
+    model = Costream(metrics=_METRICS, ensemble_size=size, config=config,
+                     seed=0)
+    for ensemble in model.ensembles.values():
+        for member in ensemble.members:
+            member.network.eval()
+    return model
+
+
+def _requests(n: int, seed: int = 7,
+              n_candidates: int = 10) -> list[DecisionRequest]:
+    rng = np.random.default_rng(seed)
+    generator = QueryGenerator(seed=rng)
+    return [DecisionRequest(plan=generator.generate(),
+                            cluster=sample_cluster(
+                                rng, int(rng.integers(4, 8))),
+                            n_candidates=n_candidates, seed=index)
+            for index in range(n)]
+
+
+def _assert_decisions_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.placement == b.placement
+        assert a.predicted_objective == b.predicted_objective
+        assert a.objective == b.objective
+        assert a.candidates_evaluated == b.candidates_evaluated
+        assert a.feasible_candidates == b.feasible_candidates
+
+
+class TestMegaBatchedWave:
+    def test_wave_bitwise_equals_sequential(self):
+        model = _model()
+        batcher = DecisionBatcher(model)
+        optimizer = PlacementOptimizer(model)
+        requests = _requests(6)
+        batched = batcher.decide(requests)
+        sequential = [optimizer.optimize(r.plan, r.cluster,
+                                         n_candidates=r.n_candidates,
+                                         seed=r.seed)
+                      for r in requests]
+        _assert_decisions_equal(batched, sequential)
+
+    def test_wave_objectives_bitwise(self):
+        """Per-candidate objective values and masks, not just argmins."""
+        model = _model()
+        batcher = DecisionBatcher(model)
+        optimizer = PlacementOptimizer(model)
+        requests = _requests(5, seed=11)
+        candidates = [batcher._candidates_for(r) for r in requests]
+        values, feasible, bounds = batcher.score_wave(requests,
+                                                      candidates)
+        for index, request in enumerate(requests):
+            batches = model.collate_placements(
+                request.plan, candidates[index], request.cluster)
+            seq_values, seq_feasible = optimizer.score(batches)
+            lo, hi = bounds[index], bounds[index + 1]
+            np.testing.assert_array_equal(values[lo:hi], seq_values)
+            np.testing.assert_array_equal(feasible[lo:hi], seq_feasible)
+
+    def test_pre_enumerated_candidates(self):
+        model = _model()
+        batcher = DecisionBatcher(model)
+        requests = _requests(4, seed=3)
+        enumerated = [
+            DecisionRequest(plan=r.plan, cluster=r.cluster,
+                            seed=r.seed,
+                            candidates=tuple(batcher._candidates_for(r)))
+            for r in requests]
+        _assert_decisions_equal(batcher.decide(requests),
+                                batcher.decide(enumerated))
+
+    def test_empty_wave(self):
+        assert DecisionBatcher(_model()).decide([]) == []
+
+    def test_traditional_scheme_falls_back(self):
+        """Without a member stack the wave scores per-request batches —
+        still identical to sequential optimization."""
+        model = _model(scheme="traditional")
+        batcher = DecisionBatcher(model)
+        optimizer = PlacementOptimizer(model)
+        requests = _requests(3, seed=5)
+        sequential = [optimizer.optimize(r.plan, r.cluster,
+                                         n_candidates=r.n_candidates,
+                                         seed=r.seed)
+                      for r in requests]
+        _assert_decisions_equal(batcher.decide(requests), sequential)
+
+
+class TestMergeBatches:
+    def _graphs(self, seed: int, n: int):
+        rng = np.random.default_rng(seed)
+        generator = QueryGenerator(seed=rng)
+        model = _model()
+        graphs = []
+        for _ in range(n):
+            plan = generator.generate()
+            cluster = sample_cluster(rng, int(rng.integers(3, 6)))
+            placement = HeuristicPlacementEnumerator(
+                cluster, seed=rng).sample(plan)
+            graphs.append(model.build_graph(plan, placement, cluster))
+        return graphs
+
+    def test_merged_equals_joint_collation(self):
+        """Staged fields of the merged batch match collating all the
+        source graphs jointly, field for field."""
+        graphs = self._graphs(0, 9)
+        chunks = collate_chunks(graphs, 3)
+        merged = merge_batches(chunks)
+        joint = collate(graphs)
+        assert merged.n_nodes == joint.n_nodes
+        assert merged.n_graphs == joint.n_graphs
+        np.testing.assert_array_equal(merged.graph_id, joint.graph_id)
+        assert list(merged.type_rows) == list(joint.type_rows)
+        for node_type in joint.type_rows:
+            np.testing.assert_array_equal(merged.type_rows[node_type],
+                                          joint.type_rows[node_type])
+            np.testing.assert_array_equal(
+                merged.type_features[node_type],
+                joint.type_features[node_type])
+        for merged_slices, joint_slices in (
+                (merged.ops_to_hw, joint.ops_to_hw),
+                (merged.hw_to_ops, joint.hw_to_ops),
+                *zip(merged.flow_levels, joint.flow_levels)):
+            assert list(merged_slices) == list(joint_slices)
+            for node_type in joint_slices:
+                fast = merged_slices[node_type]
+                slow = joint_slices[node_type]
+                np.testing.assert_array_equal(fast.recv_rows,
+                                              slow.recv_rows)
+                np.testing.assert_array_equal(fast.edge_src,
+                                              slow.edge_src)
+                np.testing.assert_array_equal(fast.edge_seg,
+                                              slow.edge_seg)
+        np.testing.assert_array_equal(merged.readout_segments,
+                                      np.asarray([3, 3, 3]))
+        # neighbor_rounds edges are grouped per source batch: same
+        # receivers, same edge multiset (order differs).
+        assert list(merged.neighbor_rounds) == list(joint.neighbor_rounds)
+        for node_type in joint.neighbor_rounds:
+            fast = merged.neighbor_rounds[node_type]
+            slow = joint.neighbor_rounds[node_type]
+            np.testing.assert_array_equal(fast.recv_rows, slow.recv_rows)
+            fast_edges = sorted(zip(fast.edge_src.tolist(),
+                                    fast.edge_seg.tolist()))
+            slow_edges = sorted(zip(slow.edge_src.tolist(),
+                                    slow.edge_seg.tolist()))
+            assert fast_edges == slow_edges
+
+    def test_merged_predictions_bitwise(self):
+        """Candidate batches of different plans (the serving shape):
+        merged predictions equal per-batch predictions bit for bit."""
+        model = _model()
+        chunks = []
+        for request in _requests(4, seed=41):
+            candidates = DecisionBatcher(model)._candidates_for(request)
+            chunks.extend(model.collate_placements(
+                request.plan, candidates, request.cluster))
+        merged = model.merged_inference_batches(chunks)
+        assert len(merged) == 1
+        for metric in _METRICS:
+            separate = np.concatenate(
+                [model.predict_metric(metric, [chunk])
+                 for chunk in chunks])
+            np.testing.assert_array_equal(
+                model.predict_metric(metric, merged), separate)
+
+    def test_single_graph_batches_not_merged(self):
+        graphs = self._graphs(6, 3)
+        chunks = collate_chunks(graphs, 1)
+        assert not mega_mergeable(chunks[0])
+        model = _model()
+        assert model.merged_inference_batches(chunks) is chunks
+
+    def test_merge_requires_batches(self):
+        with pytest.raises(ValueError):
+            merge_batches([])
+
+
+class TestFloat32EndToEnd:
+    def test_collation_native_float32(self):
+        model = _model()
+        requests = _requests(2, seed=13)
+        request = requests[0]
+        candidates = DecisionBatcher(model)._candidates_for(request)
+        with float32_inference():
+            batches = model.collate_placements(request.plan, candidates,
+                                               request.cluster)
+        for features in batches[0].type_features.values():
+            assert features.dtype == np.float32
+        for rows in batches[0].type_rows.values():
+            assert rows.dtype == np.int64  # index arrays untouched
+
+    def test_e2e_equals_cast_at_forward(self):
+        """Casting per-vector at featurize time and per-matrix at
+        forward time round the same float64 values once — predictions
+        must match bit for bit."""
+        model = _model()
+        request = _requests(1, seed=17)[0]
+        candidates = DecisionBatcher(model)._candidates_for(request)
+        float64_batches = model.collate_placements(
+            request.plan, candidates, request.cluster)
+        with float32_inference():
+            e2e_batches = model.collate_placements(
+                request.plan, candidates, request.cluster)
+            for metric in _METRICS:
+                np.testing.assert_array_equal(
+                    model.predict_metric(metric, e2e_batches),
+                    model.predict_metric(metric, float64_batches))
+
+    def test_cross_context_host_cache_normalized(self):
+        """Host features cached outside the context must not smuggle a
+        float64 matrix into a float32 batch: build_graph re-casts
+        cached vectors, so the batch is uniformly float32 and equal to
+        the all-inside-the-context build."""
+        from repro.core.graph import featurize_hosts
+
+        model = _model()
+        request = _requests(1, seed=43)[0]
+        candidates = DecisionBatcher(model)._candidates_for(request)
+        outside_hosts = featurize_hosts(request.cluster,
+                                        model.featurizer)  # float64
+        with float32_inference():
+            graphs = model.build_graphs(request.plan, candidates,
+                                        request.cluster)
+            from repro.core.graph import build_graph, collate, \
+                featurize_plan
+            plan_features = featurize_plan(request.plan,
+                                           model.featurizer)
+            cached_graphs = [build_graph(request.plan, placement,
+                                         request.cluster,
+                                         model.featurizer,
+                                         plan_features=plan_features,
+                                         host_features=outside_hosts)
+                             for placement in candidates]
+            batch = collate(cached_graphs)
+            reference = collate(graphs)
+        for node_type, features in batch.type_features.items():
+            assert features.dtype == np.float32
+            np.testing.assert_array_equal(
+                features, reference.type_features[node_type])
+
+    def test_decision_level_tolerance(self):
+        from repro.experiments.hotpaths import FLOAT32_TOLERANCE
+
+        model = _model()
+        batcher = DecisionBatcher(model)
+        requests = _requests(5, seed=19)
+        candidates = [batcher._candidates_for(r) for r in requests]
+        values, _, _ = batcher.score_wave(requests, candidates)
+        with float32_inference():
+            f32_values, _, _ = batcher.score_wave(requests, candidates)
+        rel = np.max(np.abs(f32_values - values)
+                     / (np.abs(values) + 1e-9))
+        assert rel <= FLOAT32_TOLERANCE
+
+
+class TestWorkerPool:
+    def test_serial_fallback_matches_single_process(self):
+        model = _model()
+        requests = _requests(5, seed=23)
+        plain = DecisionBatcher(model).decide(requests)
+        with WorkerPool(processes=2, serial=True) as pool:
+            pooled = DecisionBatcher(model, pool=pool).decide(requests)
+        _assert_decisions_equal(plain, pooled)
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_fork_pool_matches_single_process(self):
+        model = _model()
+        requests = _requests(5, seed=29)
+        plain = DecisionBatcher(model).decide(requests)
+        with WorkerPool(processes=2) as pool:
+            assert not pool.serial
+            batcher = DecisionBatcher(model, pool=pool)
+            _assert_decisions_equal(plain, batcher.decide(requests))
+            # Persistent workers: a second wave reuses them.
+            _assert_decisions_equal(plain, batcher.decide(requests))
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_fork_pool_honours_float32_context(self):
+        """The inference dtype is a per-process global: each wave task
+        carries the parent's active dtype, so pooled waves match the
+        serial path both inside and outside ``float32_inference`` even
+        though the workers forked outside the context."""
+        model = _model()
+        requests = _requests(4, seed=37)
+        with WorkerPool(processes=2) as pool:
+            batcher = DecisionBatcher(model, pool=pool)
+            batcher.decide(requests)  # fork workers in float64 mode
+            serial = DecisionBatcher(model)
+            with float32_inference():
+                _assert_decisions_equal(batcher.decide(requests),
+                                        serial.decide(requests))
+            # ... and back out: the workers must not stay float32.
+            _assert_decisions_equal(batcher.decide(requests),
+                                    serial.decide(requests))
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_pool_reforks_after_weight_replacement(self):
+        """Fork snapshots follow the MemberStack staleness rules: any
+        parameter-array replacement since the last fork triggers a
+        worker restart, so pooled decisions never serve stale weights."""
+        model = _model()
+        requests = _requests(4, seed=31)
+        with WorkerPool(processes=2) as pool:
+            batcher = DecisionBatcher(model, pool=pool)
+            batcher.decide(requests)  # workers forked with seed-0 weights
+            for ensemble in model.ensembles.values():
+                for member in ensemble.members:
+                    state = member.network.state_dict()
+                    shifted = {key: value + 0.05
+                               for key, value in state.items()}
+                    member.network.load_state_dict(shifted)
+            fresh = DecisionBatcher(model).decide(requests)
+            _assert_decisions_equal(batcher.decide(requests), fresh)
+
+    def test_shard_indices_cover_everything(self):
+        pool = WorkerPool(processes=3, serial=True)
+        shards = pool.shard_indices(8)
+        assert sorted(np.concatenate(shards).tolist()) == list(range(8))
+        assert all(shard.size for shard in shards)
+        assert len(pool.shard_indices(2)) == 2
+
+
+class TestPooledTraining:
+    def _data(self):
+        from repro.core.dataset import GraphDataset
+        from repro.data.collection import BenchmarkCollector
+
+        traces = BenchmarkCollector(seed=5).collect(60)
+        dataset = GraphDataset.from_traces(traces)
+        return dataset.metric_view("processing_latency")
+
+    def _fit(self, graphs, labels, pool):
+        config = TrainingConfig(hidden_dim=12, epochs=2, patience=5)
+        model = CostModel("processing_latency", config=config, seed=0)
+        history = model.fit(graphs, labels, pool=pool)
+        return np.asarray(history.train_loss)
+
+    def test_sharded_fit_deterministic_and_close_to_serial(self):
+        graphs, labels = self._data()
+        unsharded = self._fit(graphs, labels, None)
+        with WorkerPool(processes=2, serial=True) as pool:
+            first = self._fit(graphs, labels, pool)
+            second = self._fit(graphs, labels, pool)
+        np.testing.assert_array_equal(first, second)  # reproducible
+        np.testing.assert_allclose(first, unsharded, rtol=1e-9)
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_fork_fit_matches_serial_shards(self):
+        graphs, labels = self._data()
+        with WorkerPool(processes=2, serial=True) as serial_pool:
+            serial = self._fit(graphs, labels, serial_pool)
+        with WorkerPool(processes=2) as fork_pool:
+            forked = self._fit(graphs, labels, fork_pool)
+        np.testing.assert_array_equal(serial, forked)
