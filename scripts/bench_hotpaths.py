@@ -61,9 +61,14 @@ def main(argv: list[str] | None = None) -> int:
     throughput = results["decision_throughput"]
     epoch = results["epoch"]
     ensemble = results["ensemble_batched"]
+    collation = results["candidate_collation"]
     print(f"scale={results['scale']}")
     print(f"collate:   {results['collate']['speedup']:6.1f}x "
           f"({results['collate']['graphs_per_s_fast']:,.0f} graphs/s)")
+    print(f"cand-coll: {collation['speedup']:6.1f}x index-native "
+          f"({collation['candidates_per_s_fast']:,.0f} candidates/s, "
+          f"delta {collation['float64_max_abs_delta']:.1e}, "
+          f"chosen identical: {collation['chosen_identical']})")
     print(f"decision:  {decision['speedup']:6.1f}x "
           f"({1e3 * decision['fast_s_per_decision']:.1f} ms/decision, "
           f"{decision['n_candidates']} candidates)")

@@ -7,7 +7,7 @@ Usage::
         [--baseline BENCH_hotpaths.json] \
         [--decision-floor 5.0] [--epoch-floor 2.0] [--collate-floor 2.0] \
         [--ensemble-floor 0.8] [--throughput-floor 1.0] \
-        [--tolerance 1e-9]
+        [--candidate-collation-floor 2.0] [--tolerance 1e-9]
 
 Compares a freshly measured benchmark JSON against the committed
 baseline and **fails (exit 1)** when
@@ -23,6 +23,11 @@ baseline and **fails (exit 1)** when
   (1.0 means parity; the wave's amortization win is bounded by the
   bitwise-pinned arithmetic share, see PERFORMANCE.md — measured
   ~1.6x at tiny scale, ~1.15x at small scale on one core),
+* the index-native candidate collation regresses below
+  ``--candidate-collation-floor`` against the retained per-candidate
+  reference loop, its batches stop matching the reference field for
+  field, or the placement chosen from the index-native batch differs
+  from the reference batch's choice,
 * the fast path stops being numerically equivalent to the slow-path
   replicas (``max_abs_delta`` > ``--tolerance``, decisions disagree, or
   the recorded equivalence verdict is False), or
@@ -58,6 +63,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--collate-floor", type=float, default=2.0)
     parser.add_argument("--ensemble-floor", type=float, default=0.8)
     parser.add_argument("--throughput-floor", type=float, default=1.0)
+    parser.add_argument("--candidate-collation-floor", type=float,
+                        default=2.0)
     parser.add_argument("--tolerance", type=float, default=1e-9)
     args = parser.parse_args(argv)
 
@@ -71,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         "decision_throughput": args.throughput_floor,
         "epoch": args.epoch_floor,
         "collate": args.collate_floor,
+        "candidate_collation": args.candidate_collation_floor,
         "ensemble_batched": args.ensemble_floor,
     }
     failures: list[str] = []
@@ -132,6 +140,27 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"float32 rel delta {f32_delta:.2e} exceeds "
                 f"{f32_budget:.0e}")
+
+    collation = fresh.get("candidate_collation", {})
+    if not collation:
+        failures.append("fresh results lack the candidate_collation "
+                        "entry")
+    else:
+        collation_delta = float(collation.get("float64_max_abs_delta",
+                                              float("inf")))
+        print(f"  cand. collation      max|delta|={collation_delta:.2e} "
+              f"(tolerance {args.tolerance:.0e}) "
+              f"{'ok' if collation_delta <= args.tolerance else 'FAIL'}")
+        if collation_delta > args.tolerance:
+            failures.append(
+                f"index-native collation delta {collation_delta:.2e} "
+                f"exceeds {args.tolerance:.0e}")
+        if not collation.get("fields_equal", False):
+            failures.append("index-native candidate batches are not "
+                            "field-identical to the reference loop")
+        if not collation.get("chosen_identical", False):
+            failures.append("index-native collation changed the chosen "
+                            "placement")
 
     throughput = fresh.get("decision_throughput", {})
     if not throughput:

@@ -4,8 +4,9 @@ from .costream import Costream
 from .dataset import GraphDataset, split_traces
 from .ensemble import MetricEnsemble
 from .features import FEATURE_MODES, Featurizer, NODE_TYPES
-from .graph import (GraphBatch, PlanFeatures, QueryGraph, as_batches,
-                    build_graph, collate, collate_candidates,
+from .graph import (GraphBatch, HostFeatures, PlanFeatures, QueryGraph,
+                    as_batches, batches_equal, build_graph, collate,
+                    collate_candidates, collate_candidates_reference,
                     collate_chunks, collate_reference, featurize_hosts,
                     featurize_plan, mega_mergeable, merge_batches)
 from .metrics import (balance_classes, classification_accuracy, q_error,
@@ -17,8 +18,9 @@ from .training import CostModel, TrainingConfig, TrainingHistory
 __all__ = [
     "Costream", "GraphDataset", "split_traces", "MetricEnsemble",
     "FEATURE_MODES", "Featurizer", "NODE_TYPES", "GraphBatch", "QueryGraph",
-    "build_graph", "collate", "collate_candidates", "collate_chunks",
-    "collate_reference",
+    "build_graph", "collate", "collate_candidates",
+    "collate_candidates_reference", "collate_chunks",
+    "collate_reference", "HostFeatures", "batches_equal",
     "as_batches", "PlanFeatures", "featurize_plan", "featurize_hosts",
     "mega_mergeable", "merge_batches",
     "balance_classes", "classification_accuracy",

@@ -6,7 +6,7 @@ import numpy as np
 
 from ..data.collection import QueryTrace
 from ..hardware.cluster import Cluster
-from ..hardware.placement import Placement
+from ..hardware.placement import IndexCandidates, Placement
 from ..query.plan import QueryPlan
 from ..simulator.result import METRIC_NAMES, QueryMetrics
 from .dataset import GraphDataset
@@ -100,7 +100,8 @@ class Costream:
                 for placement in placements]
 
     def collate_placements(self, plan: QueryPlan,
-                           placements: list[Placement], cluster: Cluster,
+                           placements: "list[Placement] | IndexCandidates",
+                           cluster: Cluster,
                            selectivities: dict[str, float] | None = None,
                            host_features: dict[str, np.ndarray]
                            | None = None) -> list[GraphBatch]:
@@ -109,9 +110,13 @@ class Costream:
         The placement-optimization hot path: featurizes the plan and
         hosts once and assembles the batches directly
         (:func:`repro.core.graph.collate_candidates`), skipping the
-        per-candidate graph objects entirely.  Query-only featurization
-        and partial placements fall back to ``build_graphs`` +
-        ``collate_chunks``; batches are identical either way.
+        per-candidate graph objects entirely.  ``placements`` may be an
+        :class:`~repro.hardware.IndexCandidates` matrix (the
+        enumerator's index-native output) — then collation is fully
+        vectorized and no string placement is ever materialized here.
+        Query-only featurization and partial placements fall back to
+        ``build_graphs`` + ``collate_chunks``; batches are identical
+        either way.
 
         ``host_features`` optionally passes pre-featurized hosts
         (:func:`repro.core.graph.featurize_hosts`) so callers scoring
@@ -122,8 +127,12 @@ class Costream:
         n_ops = len(plan)
         # Partial placements take the per-graph fallback; an unknown
         # host raises (KeyError here, exactly as build_graphs would).
-        direct = (self.featurizer.mode != "query_only"
-                  and all(len(p) == n_ops for p in placements))
+        if isinstance(placements, IndexCandidates):
+            direct = (self.featurizer.mode != "query_only"
+                      and placements.n_ops == n_ops)
+        else:
+            direct = (self.featurizer.mode != "query_only"
+                      and all(len(p) == n_ops for p in placements))
         if direct:
             plan_features = featurize_plan(plan, self.featurizer,
                                            selectivities)
@@ -138,7 +147,7 @@ class Costream:
                                        host_features,
                                        neighbor_rounds=neighbor_rounds)
                     for start in range(0, len(placements), batch_size)]
-        graphs = self.build_graphs(plan, placements, cluster,
+        graphs = self.build_graphs(plan, list(placements), cluster,
                                    selectivities)
         return collate_chunks(graphs, batch_size)
 

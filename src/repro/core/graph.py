@@ -47,15 +47,17 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..hardware.cluster import Cluster
-from ..hardware.placement import Placement
+from ..hardware.placement import IndexCandidates, Placement
 from ..nn.autodiff import inference_dtype
 from ..query.plan import QueryPlan
 from .features import Featurizer, NODE_TYPES
 
 __all__ = ["QueryGraph", "GraphBatch", "StageSlice", "PlanFeatures",
-           "build_graph", "featurize_plan", "featurize_hosts", "collate",
-           "collate_candidates", "collate_reference", "collate_chunks",
-           "as_batches", "mega_mergeable", "merge_batches"]
+           "HostFeatures", "build_graph", "featurize_plan",
+           "featurize_hosts", "collate", "collate_candidates",
+           "collate_candidates_reference", "collate_reference",
+           "collate_chunks", "as_batches", "batches_equal",
+           "mega_mergeable", "merge_batches"]
 
 _TYPE_CODE = {node_type: code for code, node_type in enumerate(NODE_TYPES)}
 
@@ -434,17 +436,41 @@ def featurize_plan(plan: QueryPlan, featurizer: Featurizer,
                         op_index=op_index)
 
 
+class HostFeatures(dict):
+    """``node_id -> feature vector`` plus a cached stacked matrix.
+
+    A plain dict to every existing consumer; the index-native candidate
+    collation additionally reads :meth:`matrix` — the ``(n_nodes, d)``
+    stack of the vectors in cluster node order, built once per cluster
+    featurization instead of re-gathered through per-node dict lookups
+    for every candidate.
+    """
+
+    def matrix(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Feature rows stacked in ``node_ids`` order (cached)."""
+        key = tuple(node_ids)
+        cached = getattr(self, "_matrix", None)
+        if cached is None or cached[0] != key:
+            cached = (key, np.vstack([self[node_id]
+                                      for node_id in node_ids]))
+            self._matrix = cached
+        return cached[1]
+
+
 def featurize_hosts(cluster: Cluster, featurizer: Featurizer,
                     node_ids: Iterable[str] | None = None
-                    ) -> dict[str, np.ndarray]:
+                    ) -> HostFeatures:
     """Per-host feature vectors, reusable across placement candidates.
 
     Vectors come out in the active inference dtype (see
-    :func:`featurize_plan`)."""
+    :func:`featurize_plan`).  The returned mapping is a
+    :class:`HostFeatures` dict whose stacked matrix feeds the
+    index-native candidate collation."""
     ids = cluster.node_ids if node_ids is None else node_ids
-    return {node_id: _inference_cast(featurizer.host_features(
-                cluster.node(node_id)))
-            for node_id in ids}
+    return HostFeatures(
+        (node_id, _inference_cast(featurizer.host_features(
+            cluster.node(node_id))))
+        for node_id in ids)
 
 
 def build_graph(plan: QueryPlan, placement: Placement | None,
@@ -683,6 +709,47 @@ def as_batches(graphs, batch_size: int) -> list[GraphBatch]:
     if graphs and isinstance(graphs[0], GraphBatch):
         return graphs
     return collate_chunks(graphs, batch_size)
+
+
+def _stage_dicts_equal(a: dict[str, StageSlice],
+                       b: dict[str, StageSlice]) -> bool:
+    return (list(a) == list(b)
+            and all(np.array_equal(a[t].recv_rows, b[t].recv_rows)
+                    and np.array_equal(a[t].edge_src, b[t].edge_src)
+                    and np.array_equal(a[t].edge_seg, b[t].edge_seg)
+                    for t in b))
+
+
+def batches_equal(a: GraphBatch, b: GraphBatch) -> bool:
+    """Field-for-field equality of two batches (index arrays exact,
+    feature matrices bitwise).
+
+    THE definition of "same batch", kept next to :class:`GraphBatch`
+    so a new field is added in one place: the hot-path benchmark's
+    equivalence verdict (``candidate_collation.fields_equal``, CI
+    gated) relies on it, and the equivalence tests' assert-style
+    helper (``tests/test_collate_equivalence.assert_batches_equal``)
+    finishes with it, so a field covered only here still fails tests.
+    """
+    return bool(
+        a.n_nodes == b.n_nodes
+        and a.n_graphs == b.n_graphs
+        and np.array_equal(a.graph_id, b.graph_id)
+        and list(a.type_rows) == list(b.type_rows)
+        and list(a.type_features) == list(b.type_features)
+        and all(np.array_equal(a.type_rows[t], b.type_rows[t])
+                for t in b.type_rows)
+        and all(np.array_equal(a.type_features[t], b.type_features[t])
+                for t in b.type_features)
+        and _stage_dicts_equal(a.ops_to_hw, b.ops_to_hw)
+        and _stage_dicts_equal(a.hw_to_ops, b.hw_to_ops)
+        and len(a.flow_levels) == len(b.flow_levels)
+        and all(_stage_dicts_equal(x, y)
+                for x, y in zip(a.flow_levels, b.flow_levels))
+        and _stage_dicts_equal(a.neighbor_rounds, b.neighbor_rounds)
+        and (a.readout_segments is None) == (b.readout_segments is None)
+        and (a.readout_segments is None
+             or np.array_equal(a.readout_segments, b.readout_segments)))
 
 
 # ----------------------------------------------------------------------
@@ -967,9 +1034,84 @@ def _candidate_parts(plan_features: PlanFeatures) -> dict:
 
     cached = {"n_ops": n_ops, "type_pos": type_pos,
               "type_code": codes, "max_depth": max_depth,
-              "level_slices": level_slices}
+              "level_slices": level_slices,
+              # Index-native collation extras, all pure functions of
+              # the plan: operator order, row identity and the
+              # per-type column groups of the hw -> ops stage.
+              "op_order": tuple(plan_features.op_index),
+              "op_rows": np.arange(n_ops, dtype=np.int64)}
+    cached["code_cols"] = _code_column_groups(cached, cached["op_rows"])
+    # Flow-level stages concatenated into flat plan-local arrays, so
+    # the indexed collation tiles every level with THREE broadcast
+    # adds total (one per kind) instead of three per (level, type);
+    # "nrecv" carries each edge's per-candidate segment stride.
+    recv_parts, src_parts = [], []
+    seg_parts, nrecv_parts = [], []
+    spans: list[list[tuple]] = []
+    recv_at = edge_at = 0
+    for level in level_slices:
+        level_spans = []
+        for node_type, stage in level.items():
+            recv_to = recv_at + stage.recv_rows.size
+            edge_to = edge_at + stage.edge_src.size
+            recv_parts.append(stage.recv_rows)
+            src_parts.append(stage.edge_src)
+            seg_parts.append(stage.edge_seg)
+            nrecv_parts.append(np.full(stage.edge_seg.size,
+                                       stage.recv_rows.size,
+                                       dtype=np.int64))
+            level_spans.append((node_type, recv_at, recv_to,
+                                edge_at, edge_to))
+            recv_at, edge_at = recv_to, edge_to
+        spans.append(level_spans)
+    cached["level_concat"] = {
+        "recv": (np.concatenate(recv_parts) if recv_parts
+                 else _EMPTY_INDEX),
+        "src": np.concatenate(src_parts) if src_parts else _EMPTY_INDEX,
+        "seg": np.concatenate(seg_parts) if seg_parts else _EMPTY_INDEX,
+        "nrecv": (np.concatenate(nrecv_parts) if nrecv_parts
+                  else _EMPTY_INDEX),
+        "spans": spans}
+    # Same trick for the per-type operator rows: one concatenated
+    # local array, tiled with a single broadcast add per collation.
+    type_spans: list[tuple[str, int, int]] = []
+    rows_at = 0
+    for node_type in NODE_TYPES[:-1]:
+        rows = arrays.type_rows.get(node_type)
+        if rows is None:
+            continue
+        type_spans.append((node_type, rows_at, rows_at + rows.size))
+        rows_at += rows.size
+    cached["type_rows_concat"] = np.concatenate(
+        [arrays.type_rows[node_type]
+         for node_type, _, _ in type_spans]) if type_spans \
+        else _EMPTY_INDEX
+    cached["type_spans"] = type_spans
     plan_features.__dict__["_cand_parts"] = cached
     return cached
+
+
+def _code_column_groups(parts: dict, col_rows: np.ndarray
+                        ) -> list[tuple[int, str, np.ndarray,
+                                        np.ndarray, int]]:
+    """Per-op-type column groups of an assignment matrix.
+
+    One entry ``(code, node_type, columns, receiver positions, type
+    count)`` per operator type present; cached on the candidate parts
+    for the plan's own column order and recomputed only for candidate
+    matrices in a custom operator order.
+    """
+    type_code = parts["type_code"]
+    type_pos = parts["type_pos"]
+    col_codes = type_code[col_rows]
+    groups = []
+    for code, node_type in enumerate(NODE_TYPES[:-1]):
+        cols = np.nonzero(col_codes == code)[0]
+        if cols.size == 0:
+            continue
+        groups.append((code, node_type, cols, type_pos[col_rows[cols]],
+                       int(np.count_nonzero(type_code == code))))
+    return groups
 
 
 def _candidate_flow_groups(plan_features: PlanFeatures,
@@ -1007,25 +1149,235 @@ def _tile(local: np.ndarray, shifts: np.ndarray) -> np.ndarray:
 
 
 def collate_candidates(plan_features: PlanFeatures,
-                       placements: Sequence[Placement],
+                       placements: "Sequence[Placement] | IndexCandidates",
                        host_features: dict[str, np.ndarray],
                        neighbor_rounds: bool = True) -> GraphBatch:
     """Collate many placements of ONE plan directly into a batch.
 
-    The placement optimizer's hot path: the operator part of every
-    candidate graph is identical, so it is tiled from the cached plan
-    arrays and only the per-candidate host rows and placement edges are
-    assembled in Python.  Produces exactly the batch that
-    ``collate([build_graph(plan, p, ...) for p in placements])`` would
-    (the collation-equivalence test covers it) — without constructing
-    any intermediate ``QueryGraph``.  Every placement must cover every
-    operator (raises ``ValueError`` otherwise).
+    The placement optimizer's hot path.  Index-native: when
+    ``placements`` is an :class:`~repro.hardware.IndexCandidates`
+    matrix (what the enumerator samples), or a sequence of total
+    string :class:`Placement`\\ s in the plan's operator order, the
+    batch is assembled by numpy array operations over the
+    ``(n_cands, n_ops)`` assignment matrix — per-candidate host dedup,
+    placement edges and host feature rows all come out of vectorized
+    index arithmetic, with no per-candidate Python loop.  Placements
+    whose dict order differs from the plan's operator order take the
+    retained loop (:func:`collate_candidates_reference`); both paths
+    produce exactly the batch that ``collate([build_graph(plan, p,
+    ...) for p in placements])`` would, field for field (tested).
+    Every placement must cover every operator (raises ``ValueError``
+    otherwise).
 
     ``neighbor_rounds=False`` skips the ``traditional``-scheme
     neighborhood groups (the batch carries an empty dict) — only that
     ablation reads them, so staged-scheme callers
     (``Costream.collate_placements``) drop ~a quarter of the collation
     work.
+    """
+    if isinstance(placements, IndexCandidates):
+        if placements.n_ops != len(plan_features.op_index):
+            raise ValueError("collate_candidates requires total "
+                             "placements covering every operator")
+        return _collate_candidates_indexed(
+            plan_features, placements.assignment, placements.op_ids,
+            placements.node_ids, host_features, neighbor_rounds)
+    placements = list(placements)
+    if not placements:
+        raise ValueError("cannot collate an empty list of placements")
+    op_order = tuple(plan_features.op_index)
+    if all(len(p) == len(op_order)
+           and tuple(p.assignment) == op_order for p in placements):
+        node_ids = tuple(host_features)
+        node_pos = {node_id: i for i, node_id in enumerate(node_ids)}
+        assignment = np.asarray(
+            [[node_pos[node_id] for node_id in p.assignment.values()]
+             for p in placements], dtype=np.int64)
+        return _collate_candidates_indexed(
+            plan_features, assignment, op_order, node_ids,
+            host_features, neighbor_rounds)
+    return collate_candidates_reference(plan_features, placements,
+                                        host_features, neighbor_rounds)
+
+
+def _collate_candidates_indexed(plan_features: PlanFeatures,
+                                assignment: np.ndarray,
+                                op_ids: Sequence[str],
+                                node_ids: Sequence[str],
+                                host_features: dict[str, np.ndarray],
+                                neighbor_rounds: bool) -> GraphBatch:
+    """Vectorized index-native core of :func:`collate_candidates`.
+
+    ``assignment[i, j]`` is the ``node_ids`` index of the node hosting
+    ``op_ids[j]`` in candidate ``i``.  Per-candidate host dedup, edge
+    arrays and host feature rows are all computed as array operations
+    over the matrix; the field-for-field contract with
+    :func:`collate_candidates_reference` (candidate-major edge order,
+    hosts in first-appearance order) is pinned by
+    ``tests/test_index_candidates.py``.
+    """
+    n_cands = assignment.shape[0]
+    if n_cands == 0:
+        raise ValueError("cannot collate an empty list of placements")
+    op_index = plan_features.op_index
+    parts = _candidate_parts(plan_features)
+    n_ops = parts["n_ops"]
+    if len(op_ids) != n_ops or assignment.shape[1] != n_ops:
+        raise ValueError("collate_candidates requires total "
+                         "placements covering every operator")
+    arrays = plan_features.arrays
+    if tuple(op_ids) == parts["op_order"]:
+        # Enumerator candidates: columns already are plan rows, and the
+        # per-type column groups are cached on the plan.
+        col_rows = None
+        code_cols = parts["code_cols"]
+    else:
+        col_rows = np.asarray([op_index[op] for op in op_ids],
+                              dtype=np.int64)
+        code_cols = _code_column_groups(parts, col_rows)
+
+    # Per-candidate host dedup over the assignment matrix: a column is
+    # a host's *first* appearance iff no earlier column names the same
+    # node.  n_ops is small, so the (n_cands, n_ops, n_ops) pairwise
+    # compare is a handful of cache-resident array ops — no per-column
+    # Python loop, no per-candidate dict.  first_col[c, j] is the
+    # column where candidate c's node of column j first appeared
+    # (argmax finds the first True; k = j always matches), so a column
+    # is a first appearance iff it is its own first column.
+    pairwise = assignment[:, None, :] == assignment[:, :, None]
+    first_col = pairwise.argmax(axis=2)
+    op_rows = parts["op_rows"]
+    is_first = first_col == op_rows[None, :]
+    first_rank = is_first.cumsum(axis=1)       # local host id + 1
+    cand_rows = np.arange(n_cands, dtype=np.int64)
+    host_local = first_rank[cand_rows[:, None], first_col] - 1
+    host_counts = first_rank[:, -1]
+    sizes = n_ops + host_counts
+    ends = np.cumsum(sizes)
+    offsets = ends - sizes
+    host_ends = np.cumsum(host_counts)
+    host_before = host_ends - host_counts
+    graph_id = np.repeat(cand_rows, sizes)
+
+    # One host row per first appearance, candidate-major; the node
+    # index per row gathers the per-cluster feature matrix.
+    host_rows = (np.repeat(offsets + n_ops - 1, host_counts)
+                 + first_rank[is_first])
+    host_node_order = assignment[is_first]
+
+    target = inference_dtype()
+    plan_type_features = arrays.type_features_as(target)
+    type_rows: dict[str, np.ndarray] = {}
+    type_features: dict[str, np.ndarray] = {}
+    rows_tiled = offsets[:, None] + parts["type_rows_concat"][None, :]
+    for node_type, rows_at, rows_to in parts["type_spans"]:
+        type_rows[node_type] = rows_tiled[:, rows_at:rows_to].ravel()
+        # Equivalent to np.tile(matrix, (n_cands, 1)) with the
+        # broadcasting done by a raw assignment — this runs once per
+        # type per collation on the decision hot path, where the
+        # wrapper overhead of np.tile/broadcast_to is measurable.
+        matrix = plan_type_features[node_type]
+        n_rows, width = matrix.shape
+        tiled = np.empty((n_cands * n_rows, width), dtype=matrix.dtype)
+        tiled.reshape(n_cands, n_rows, width)[:] = matrix
+        type_features[node_type] = tiled
+    try:
+        host_matrix = (host_features.matrix(node_ids)
+                       if isinstance(host_features, HostFeatures)
+                       else np.vstack([host_features[node_id]
+                                       for node_id in node_ids]))
+        host_vectors = host_matrix[host_node_order]
+    except KeyError:
+        # ``host_features`` may legally cover only a subset of the
+        # cluster (``featurize_hosts(..., node_ids=...)``): the
+        # reference loop only looks up hosts a candidate actually
+        # uses, so fall back to gathering exactly those — and raise
+        # only if a *used* host is missing.
+        host_vectors = np.vstack([host_features[node_ids[i]]
+                                  for i in host_node_order])
+    type_rows["host"] = host_rows
+    type_features["host"] = host_vectors.astype(target, copy=False)
+
+    ph_src = (offsets[:, None] + (op_rows if col_rows is None
+                                  else col_rows)[None, :]).ravel()
+    ph_seg = (host_before[:, None] + host_local).ravel()
+    ops_to_hw = {"host": StageSlice(recv_rows=host_rows,
+                                    edge_src=ph_src, edge_seg=ph_seg)}
+
+    hw_src: dict[int, np.ndarray] = {}
+    hw_seg: dict[int, np.ndarray] = {}
+    hw_to_ops: dict[str, StageSlice] = {}
+    for code, node_type, cols, pos, count in code_cols:
+        src = (offsets[:, None] + n_ops + host_local[:, cols]).ravel()
+        seg = (cand_rows[:, None] * count + pos[None, :]).ravel()
+        hw_src[code] = src
+        hw_seg[code] = seg
+        hw_to_ops[node_type] = StageSlice(recv_rows=type_rows[node_type],
+                                          edge_src=src, edge_seg=seg)
+
+    # Flow levels: three broadcast adds tile every stage of every
+    # level at once; per-stage arrays are sliced back out (each
+    # ravel of a column block is exactly the candidate-major tiling
+    # `_tile` would produce).
+    concat = parts["level_concat"]
+    recv_tiled = offsets[:, None] + concat["recv"][None, :]
+    src_tiled = offsets[:, None] + concat["src"][None, :]
+    seg_tiled = (cand_rows[:, None] * concat["nrecv"][None, :]
+                 + concat["seg"][None, :])
+    flow_levels: list[dict[str, StageSlice]] = []
+    for level_spans in concat["spans"]:
+        level: dict[str, StageSlice] = {}
+        for node_type, recv_at, recv_to, edge_at, edge_to in level_spans:
+            level[node_type] = StageSlice(
+                recv_rows=recv_tiled[:, recv_at:recv_to].ravel(),
+                edge_src=src_tiled[:, edge_at:edge_to].ravel(),
+                edge_seg=seg_tiled[:, edge_at:edge_to].ravel())
+        flow_levels.append(level)
+
+    rounds: dict[str, StageSlice] = {}
+    if neighbor_rounds:
+        flow_groups = _candidate_flow_groups(plan_features, parts)
+        for code, node_type in enumerate(NODE_TYPES[:-1]):
+            local_rows = arrays.type_rows.get(node_type)
+            if local_rows is None:
+                continue
+            recv_shift = cand_rows * local_rows.size
+            group_src = [_tile(src, offsets)
+                         for src, _ in flow_groups[node_type]]
+            group_seg = [_tile(seg, recv_shift)
+                         for _, seg in flow_groups[node_type]]
+            if code in hw_src:
+                group_src.append(hw_src[code])
+                group_seg.append(hw_seg[code])
+            rounds[node_type] = StageSlice(
+                recv_rows=type_rows[node_type],
+                edge_src=np.concatenate(group_src) if group_src
+                else _EMPTY_INDEX,
+                edge_seg=np.concatenate(group_seg) if group_seg
+                else _EMPTY_INDEX)
+        rounds["host"] = StageSlice(recv_rows=host_rows,
+                                    edge_src=ph_src, edge_seg=ph_seg)
+
+    return GraphBatch(n_nodes=int(ends[-1]), n_graphs=n_cands,
+                      graph_id=graph_id, type_rows=type_rows,
+                      type_features=type_features, ops_to_hw=ops_to_hw,
+                      hw_to_ops=hw_to_ops, flow_levels=flow_levels,
+                      neighbor_rounds=rounds)
+
+
+def collate_candidates_reference(plan_features: PlanFeatures,
+                                 placements: Sequence[Placement],
+                                 host_features: dict[str, np.ndarray],
+                                 neighbor_rounds: bool = True
+                                 ) -> GraphBatch:
+    """The per-candidate-loop candidate collation.
+
+    Retained as the executable specification of the index-native
+    :func:`collate_candidates`: it walks every placement's string dict
+    exactly the way the pre-index pipeline did, and the vectorized path
+    must reproduce its batches field for field
+    (``tests/test_index_candidates.py``); the ``candidate_collation``
+    hot-path benchmark measures the speedup against it.
     """
     if not placements:
         raise ValueError("cannot collate an empty list of placements")

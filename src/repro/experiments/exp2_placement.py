@@ -76,11 +76,15 @@ def run_speedups(context: ExperimentContext) -> list[dict]:
                                          seed=1000 + q)
             baselines.append(max(baseline_run.processing_latency_ms,
                                  1e-3))
-            candidates = enumerator.enumerate(plan, scale.n_candidates)
+            # Index-native: the sampled index matrix feeds vectorized
+            # collation directly; the flat baseline below materializes
+            # the string views it needs lazily.
+            candidates = enumerator.enumerate_indices(plan,
+                                                      scale.n_candidates)
             requests.append(DecisionRequest(
                 plan=plan, cluster=cluster,
                 selectivities=estimator.estimate(plan),
-                candidates=tuple(candidates)))
+                candidates=candidates))
 
         # Phase 2 — one batched wave decides every query of this type.
         decisions = batcher.decide(requests)
@@ -165,12 +169,13 @@ def run_monitoring(context: ExperimentContext) -> list[dict]:
         plan = _linear_filter_query(float(rate), float(selectivity))
         cluster = sample_cluster(rng, 6)
         enumerator = HeuristicPlacementEnumerator(cluster, seed=rng)
-        candidates = enumerator.enumerate(plan, scale.n_candidates)
+        candidates = enumerator.enumerate_indices(plan,
+                                                  scale.n_candidates)
         enumerators.append(enumerator)
         requests.append(DecisionRequest(
             plan=plan, cluster=cluster,
             selectivities={"filter1": selectivity},
-            candidates=tuple(candidates)))
+            candidates=candidates))
     decisions = batcher.decide(requests)
 
     rows: list[dict] = []

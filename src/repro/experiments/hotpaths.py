@@ -33,7 +33,10 @@ from ..nn.autodiff import legacy_kernels
 from ..core.costream import Costream
 from ..core.dataset import GraphDataset
 from ..core.ensemble import MetricEnsemble
-from ..core.graph import QueryGraph, build_graph, collate, collate_reference
+from ..core.graph import (QueryGraph, batches_equal, build_graph,
+                          collate, collate_candidates,
+                          collate_candidates_reference, collate_reference,
+                          featurize_hosts, featurize_plan)
 from ..core.training import CostModel, TrainingConfig
 from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementOptimizer
@@ -481,6 +484,81 @@ def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
     return result
 
 
+def _bench_candidate_collation(scale: ExperimentScale,
+                               repeats: int) -> dict:
+    """Index-native candidate collation vs the retained reference loop.
+
+    Measures exactly the ISSUE-4 cut: assembling one decision's
+    candidate batch from the enumerator's ``(n_cands, n_ops)`` index
+    matrix (vectorized) against re-mapping per-candidate string dicts
+    (:func:`repro.core.graph.collate_candidates_reference`).  Both
+    sides share featurized plans/hosts and warmed plan-part caches, so
+    the ratio isolates the collation rewrite.  Equivalence is checked
+    field-for-field (features bitwise, index arrays exact) and at the
+    decision level: the placement chosen from the index-native batch
+    must equal the one chosen from the reference batch.
+    """
+    model = _throughput_model(scale)
+    optimizer = PlacementOptimizer(model, objective="processing_latency")
+    featurizer = model.featurizer
+    rng = np.random.default_rng(31)
+    generator = QueryGenerator(seed=rng)
+    cases = []
+    for index in range(3):
+        plan = generator.generate()
+        cluster = sample_cluster(rng, int(rng.integers(4, 8)))
+        enumerator = HeuristicPlacementEnumerator(cluster, seed=index)
+        cands = enumerator.enumerate_indices(plan, scale.n_candidates)
+        cases.append((featurize_plan(plan, featurizer),
+                      featurize_hosts(cluster, featurizer),
+                      cands, list(cands)))
+
+    max_delta = 0.0
+    fields_equal = True
+    chosen_identical = True
+    for plan_features, host_features, cands, strings in cases:
+        fast = collate_candidates(plan_features, cands, host_features,
+                                  neighbor_rounds=False)
+        slow = collate_candidates_reference(plan_features, strings,
+                                            host_features,
+                                            neighbor_rounds=False)
+        fields_equal &= batches_equal(fast, slow)
+        for node_type, features in slow.type_features.items():
+            max_delta = max(max_delta, float(np.max(np.abs(
+                fast.type_features[node_type] - features))))
+        fast_best, _ = optimizer.select(*optimizer.score([fast]))
+        slow_best, _ = optimizer.select(*optimizer.score([slow]))
+        chosen_identical &= (cands[fast_best] == strings[slow_best])
+
+    def run_fast():
+        for plan_features, host_features, cands, _ in cases:
+            collate_candidates(plan_features, cands, host_features,
+                               neighbor_rounds=False)
+
+    def run_slow():
+        for plan_features, host_features, _, strings in cases:
+            collate_candidates_reference(plan_features, strings,
+                                         host_features,
+                                         neighbor_rounds=False)
+
+    run_fast()  # warm plan-part and host-matrix caches off-clock
+    run_slow()
+    fast_s, slow_s = _interleaved(run_fast, run_slow, repeats)
+    n_total = sum(len(strings) for _, _, _, strings in cases)
+    return {
+        "n_plans": len(cases),
+        "n_candidates": scale.n_candidates,
+        "fast_s": fast_s,
+        "slow_s": slow_s,
+        "speedup": slow_s / max(fast_s, 1e-12),
+        "candidates_per_s_fast": n_total / max(fast_s, 1e-12),
+        "candidates_per_s_slow": n_total / max(slow_s, 1e-12),
+        "float64_max_abs_delta": max_delta,
+        "fields_equal": bool(fields_equal),
+        "chosen_identical": bool(chosen_identical),
+    }
+
+
 def _bench_ensemble(dataset: GraphDataset, scale: ExperimentScale,
                     repeats: int) -> dict:
     """Batched-GEMM ensemble inference vs the per-member loop.
@@ -596,6 +674,9 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
     throughput_result = _bench_decision_throughput(
         scale, repeats=sizes["repeats"] + 3, n_requests=sizes["wave"],
         pool_size=pool_size)
+    gc.collect()
+    collation_result = _bench_candidate_collation(
+        scale, repeats=max(sizes["repeats"] * 4, 10))
 
     collector = BenchmarkCollector(seed=seed)
     traces = collector.collect(sizes["corpus"])
@@ -615,9 +696,12 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
     max_delta = max(decision_result["max_abs_prediction_delta"],
                     epoch_result["max_abs_train_loss_delta"],
                     ensemble_result["float64_max_abs_delta"],
-                    throughput_result["float64_max_abs_delta"])
+                    throughput_result["float64_max_abs_delta"],
+                    collation_result["float64_max_abs_delta"])
     decisions_agree = bool(decision_result["decisions_agree"]
-                           and throughput_result["decisions_agree"])
+                           and throughput_result["decisions_agree"]
+                           and collation_result["fields_equal"]
+                           and collation_result["chosen_identical"])
     float32_ok = (ensemble_result["float32_max_rel_delta"]
                   <= FLOAT32_TOLERANCE
                   and throughput_result["float32_max_rel_delta"]
@@ -627,6 +711,7 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
         "benchmark": "hotpaths",
         "scale": scale.name,
         "collate": collate_result,
+        "candidate_collation": collation_result,
         "placement_decision": decision_result,
         "decision_throughput": throughput_result,
         "ensemble_batched": ensemble_result,
@@ -653,6 +738,7 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
             "decision_throughput_speedup": 1.0,
             "epoch_speedup": 2.0,
             "collate_speedup": 2.0,
+            "candidate_collation_speedup": 2.0,
         },
     }
 
@@ -695,3 +781,54 @@ def profile_decision(scale_name: str | None = None, top: int = 20) -> None:
     batcher.decide(requests)
     profiler.disable()
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+
+    # Collation share of one decision: how much of the end-to-end
+    # latency candidate batching costs, index-native vs the retained
+    # per-candidate reference loop (the ISSUE-4 before/after).
+    enumerator = HeuristicPlacementEnumerator(cluster, seed=0)
+    cands = enumerator.enumerate_indices(plan, scale.n_candidates)
+    strings = list(cands)
+    plan_features = featurize_plan(plan, model.featurizer)
+    host_features = featurize_hosts(cluster, model.featurizer)
+    collate_candidates(plan_features, cands, host_features,
+                       neighbor_rounds=False)  # warm caches
+    collate_candidates_reference(plan_features, strings, host_features,
+                                 neighbor_rounds=False)
+    decision_s = _best_of(
+        lambda: optimizer.optimize(plan, cluster,
+                                   n_candidates=scale.n_candidates), 10)
+    index_s = _best_of(
+        lambda: collate_candidates(plan_features, cands, host_features,
+                                   neighbor_rounds=False), 10)
+    reference_s = _best_of(
+        lambda: collate_candidates_reference(plan_features, strings,
+                                             host_features,
+                                             neighbor_rounds=False), 10)
+    print(f"\ncollation share of one decision "
+          f"({scale.n_candidates} candidates, "
+          f"{1e3 * decision_s:.2f} ms end-to-end):")
+    print(f"  index-native    {1e3 * index_s:7.3f} ms "
+          f"({index_s / decision_s:6.1%} of the decision)")
+    print(f"  reference loop  {1e3 * reference_s:7.3f} ms "
+          f"({reference_s / decision_s:6.1%} of the decision, "
+          f"{reference_s / max(index_s, 1e-12):.1f}x slower)")
+
+    # Candidate-selection micro-benchmark (vectorized masked argmax vs
+    # the original Python list comprehension over the argsort order).
+    values, feasible = optimizer.score(model.collate_placements(
+        plan, cands, cluster))
+
+    def select_listcomp():
+        order = np.argsort(values)
+        feasible_order = [i for i in order if feasible[i]]
+        best = feasible_order[0] if feasible_order else int(order[0])
+        return best, len(feasible_order)
+
+    vectorized_s = _best_of(lambda: optimizer.select(values, feasible),
+                            50)
+    listcomp_s = _best_of(select_listcomp, 50)
+    assert optimizer.select(values, feasible) == select_listcomp()
+    print(f"select over {values.size} candidates: vectorized "
+          f"{1e6 * vectorized_s:.1f} us vs list-comp "
+          f"{1e6 * listcomp_s:.1f} us "
+          f"({listcomp_s / max(vectorized_s, 1e-12):.1f}x)")

@@ -3,10 +3,10 @@
 from .cluster import Cluster, sample_cluster
 from .network import NetworkLink, link_between
 from .node import HardwareNode, capability_bin, capability_score, sample_node
-from .placement import Placement, PlacementError
+from .placement import IndexCandidates, Placement, PlacementError
 
 __all__ = [
     "Cluster", "sample_cluster", "NetworkLink", "link_between",
     "HardwareNode", "capability_bin", "capability_score", "sample_node",
-    "Placement", "PlacementError",
+    "Placement", "PlacementError", "IndexCandidates",
 ]

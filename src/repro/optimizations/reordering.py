@@ -152,14 +152,16 @@ class ReorderingOptimizer:
 
         Every rewrite draws from its own enumerator seeded ``seed +
         index`` — the exact sequence the per-rewrite reference path
-        uses.
+        uses.  Candidates come out index-native
+        (:class:`~repro.hardware.IndexCandidates`); only chosen
+        placements materialize as strings.
         """
         rewrites = enumerate_filter_orders(plan)
         candidates = []
         for index, rewrite in enumerate(rewrites):
             enumerator = HeuristicPlacementEnumerator(cluster,
                                                       seed=seed + index)
-            cands = enumerator.enumerate(rewrite, n_candidates)
+            cands = enumerator.enumerate_indices(rewrite, n_candidates)
             if not cands:
                 # Same guard PlacementOptimizer.optimize applies.
                 raise ValueError(

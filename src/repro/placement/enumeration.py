@@ -17,7 +17,7 @@ import numpy as np
 from ..config import HardwareRanges
 from ..hardware.cluster import Cluster
 from ..hardware.node import capability_score
-from ..hardware.placement import Placement
+from ..hardware.placement import IndexCandidates, Placement
 from ..query.plan import QueryPlan
 
 __all__ = ["HeuristicPlacementEnumerator"]
@@ -68,6 +68,17 @@ class HeuristicPlacementEnumerator:
         return Placement({op: self._node_ids[i]
                           for op, i in assignment.items()})
 
+    def sample_indices(self, plan: QueryPlan) -> np.ndarray:
+        """One candidate as a node-index row (see :meth:`sample`).
+
+        The row is aligned with ``plan.topological_order()`` — entry
+        ``j`` is the cluster node index of the ``j``-th operator.  Same
+        RNG draw sequence as :meth:`sample`.
+        """
+        assignment = self._sample_indices(plan, {})
+        return np.fromiter(assignment.values(), dtype=np.int64,
+                           count=len(assignment))
+
     def _sample_indices(self, plan: QueryPlan,
                         eligible_cache: dict) -> dict[str, int]:
         """One candidate as op -> node-index (see :meth:`sample`).
@@ -108,28 +119,41 @@ class HeuristicPlacementEnumerator:
             visited[op_id] = upstream | (1 << choice)
         return assignment
 
+    def enumerate_indices(self, plan: QueryPlan, k: int,
+                          max_attempts_factor: int = 10
+                          ) -> IndexCandidates:
+        """Up to ``k`` distinct candidates as an index-array matrix.
+
+        The index-native fast path: deduplicates on the node-index
+        tuple (operators are visited in a fixed order, so the tuple
+        identifies the mapping) and returns the sampled indices as one
+        ``(n_cands, n_ops)`` :class:`~repro.hardware.IndexCandidates`
+        matrix — string :class:`Placement` views materialize lazily.
+        RNG draw order and dedup semantics are identical to
+        :meth:`enumerate`.
+        """
+        op_ids = tuple(plan.topological_order())
+        rows: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        eligible_cache: dict = {}
+        attempts = 0
+        while len(rows) < k and attempts < k * max_attempts_factor:
+            attempts += 1
+            key = tuple(self._sample_indices(plan, eligible_cache).values())
+            if key not in seen:
+                seen.add(key)
+                rows.append(key)
+        return IndexCandidates(np.asarray(rows, dtype=np.int64),
+                               op_ids, tuple(self._node_ids))
+
     def enumerate(self, plan: QueryPlan, k: int,
                   max_attempts_factor: int = 10) -> list[Placement]:
         """Up to ``k`` distinct candidates (duplicates are discarded).
 
-        Deduplicates on the node-index tuple (operators are visited in
-        a fixed order, so the tuple identifies the mapping) and builds
-        a :class:`Placement` only for fresh candidates.
+        The string-API view of :meth:`enumerate_indices` — identical
+        candidates in identical order, materialized eagerly.
         """
-        node_ids = self._node_ids
-        candidates: list[Placement] = []
-        seen: set[tuple[int, ...]] = set()
-        eligible_cache: dict = {}
-        attempts = 0
-        while len(candidates) < k and attempts < k * max_attempts_factor:
-            attempts += 1
-            assignment = self._sample_indices(plan, eligible_cache)
-            key = tuple(assignment.values())
-            if key not in seen:
-                seen.add(key)
-                candidates.append(Placement(
-                    {op: node_ids[i] for op, i in assignment.items()}))
-        return candidates
+        return list(self.enumerate_indices(plan, k, max_attempts_factor))
 
     def default_placement(self, plan: QueryPlan) -> Placement:
         """A deterministic initial heuristic placement.

@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # avoid a circular import; only needed for typing
     from .pool import WorkerPool
 from ..core.graph import featurize_hosts
 from ..hardware.cluster import Cluster
-from ..hardware.placement import Placement
+from ..hardware.placement import IndexCandidates, Placement
 from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementDecision, PlacementOptimizer
 from ..query.plan import QueryPlan
@@ -52,7 +52,9 @@ class DecisionRequest:
     resolves to the same decision the sequential call would make.
     ``candidates`` optionally supplies pre-enumerated placements
     (experiment drivers that need the enumeration drawn from a shared
-    RNG stream); the enumerator is skipped then.
+    RNG stream) — a tuple of :class:`Placement` or an index-native
+    :class:`~repro.hardware.IndexCandidates` matrix; the enumerator is
+    skipped then.
     """
 
     plan: QueryPlan
@@ -60,7 +62,7 @@ class DecisionRequest:
     n_candidates: int = 30
     selectivities: dict[str, float] | None = None
     seed: int = 0
-    candidates: tuple[Placement, ...] | None = None
+    candidates: "Sequence[Placement] | IndexCandidates | None" = None
 
 
 class DecisionBatcher:
@@ -138,7 +140,7 @@ class DecisionBatcher:
                                                     model.featurizer)
                     host_cache[key] = host_features
             batches.append(model.collate_placements(
-                request.plan, list(cands), request.cluster,
+                request.plan, cands, request.cluster,
                 request.selectivities, host_features=host_features))
         flat = [batch for request_batches in batches
                 for batch in request_batches]
@@ -151,13 +153,22 @@ class DecisionBatcher:
 
     # ------------------------------------------------------------------
     def _candidates_for(self, request: DecisionRequest
-                        ) -> list[Placement]:
-        """Enumerate exactly as the sequential ``optimize`` would."""
+                        ) -> "Sequence[Placement]":
+        """Enumerate exactly as the sequential ``optimize`` would.
+
+        Index-native: enumeration produces an
+        :class:`~repro.hardware.IndexCandidates` matrix that flows
+        straight into vectorized collation; only chosen placements are
+        materialized as strings (in the decisions).
+        """
         if request.candidates is not None:
-            return list(request.candidates)
+            cands = request.candidates
+            return (cands if isinstance(cands, IndexCandidates)
+                    else list(cands))
         enumerator = HeuristicPlacementEnumerator(request.cluster,
                                                   seed=request.seed)
-        cands = enumerator.enumerate(request.plan, request.n_candidates)
+        cands = enumerator.enumerate_indices(request.plan,
+                                             request.n_candidates)
         if not cands:
             raise ValueError("placement enumeration yielded no candidates")
         return cands

@@ -1,0 +1,427 @@
+"""The index-native placement pipeline (ISSUE 4).
+
+Three contracts are pinned here:
+
+* ``HeuristicPlacementEnumerator.enumerate_indices`` draws the same
+  RNG sequence and applies the same dedup as the string ``enumerate``
+  (checked against an independent replica of the seed's frozenset
+  sampler), and its lazily-materialized :class:`Placement` views equal
+  the eager ones;
+* the vectorized index-native ``collate_candidates`` core produces
+  batches field-for-field identical to the retained
+  ``collate_candidates_reference`` loop — including degenerate
+  single-host candidates, fallback-to-strongest candidates and the
+  float32 end-to-end mode;
+* the consumers (``PlacementOptimizer``, ``DecisionBatcher``) decide
+  identically through the index path, and ``select`` keeps its exact
+  tie-break order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (Costream, Featurizer, TrainingConfig, build_graph,
+                        collate_candidates, collate_candidates_reference,
+                        collate_reference, featurize_hosts, featurize_plan)
+from repro.core.graph import HostFeatures
+from repro.hardware import IndexCandidates, Placement, sample_cluster
+from repro.nn import float32_inference
+from repro.placement import HeuristicPlacementEnumerator, PlacementOptimizer
+from repro.query.generator import QueryGenerator
+from repro.serving import DecisionBatcher, DecisionRequest
+
+from test_collate_equivalence import assert_batches_equal
+
+
+def _replica_enumerate(enumerator, plan, k):
+    """The seed's frozenset-based enumeration, replicated independently.
+
+    Draws from the enumerator's RNG through the original set-based
+    eligibility rules — the executable specification the index-native
+    sampler must stay RNG-identical to.
+    """
+    candidates = []
+    seen = set()
+    attempts = 0
+    while len(candidates) < k and attempts < k * 10:
+        attempts += 1
+        assignment: dict = {}
+        visited: dict = {}
+        for op_id in plan.topological_order():
+            parents = plan.parents(op_id)
+            eligible = enumerator._eligible_nodes(assignment, visited,
+                                                  parents)
+            choice = eligible[enumerator._rng.integers(len(eligible))]
+            assignment[op_id] = choice
+            upstream = frozenset().union(
+                *(visited[p] for p in parents)) if parents \
+                else frozenset()
+            visited[op_id] = upstream | {choice}
+        placement = Placement(assignment)
+        key = tuple(assignment.values())
+        if key not in seen:
+            seen.add(key)
+            candidates.append(placement)
+    return candidates
+
+
+def _random_case(seed: int, n_nodes: int | None = None):
+    rng = np.random.default_rng(seed)
+    plan = QueryGenerator(seed=rng).generate()
+    cluster = sample_cluster(rng, n_nodes or int(rng.integers(3, 8)))
+    return plan, cluster
+
+
+class TestEnumerateIndices:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7, 11])
+    def test_rng_and_dedup_match_replica(self, seed):
+        plan, cluster = _random_case(seed)
+        indexed = HeuristicPlacementEnumerator(
+            cluster, seed=seed).enumerate_indices(plan, 15)
+        replica = _replica_enumerate(
+            HeuristicPlacementEnumerator(cluster, seed=seed), plan, 15)
+        assert len(indexed) == len(replica)
+        for fast, slow in zip(indexed, replica):
+            assert dict(fast.items()) == dict(slow.items())
+            # Materialized views preserve the operator order too.
+            assert list(fast) == list(slow)
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_string_enumerate_is_the_index_view(self, seed):
+        plan, cluster = _random_case(seed)
+        strings = HeuristicPlacementEnumerator(
+            cluster, seed=seed).enumerate(plan, 12)
+        indexed = HeuristicPlacementEnumerator(
+            cluster, seed=seed).enumerate_indices(plan, 12)
+        assert [dict(p.items()) for p in strings] \
+            == [dict(p.items()) for p in indexed]
+
+    def test_matrix_shape_and_dedup(self):
+        plan, cluster = _random_case(3)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=3).enumerate_indices(plan, 40)
+        assert cands.assignment.shape == (len(cands), len(cands.op_ids))
+        assert cands.op_ids == tuple(plan.topological_order())
+        assert cands.node_ids == tuple(cluster.node_ids)
+        rows = {tuple(row) for row in cands.assignment}
+        assert len(rows) == len(cands)
+
+    def test_sample_indices_matches_sample(self):
+        plan, cluster = _random_case(4)
+        row = HeuristicPlacementEnumerator(
+            cluster, seed=4).sample_indices(plan)
+        placement = HeuristicPlacementEnumerator(
+            cluster, seed=4).sample(plan)
+        node_ids = list(cluster.node_ids)
+        assert [node_ids[i] for i in row] \
+            == [placement.node_of(op)
+                for op in plan.topological_order()]
+
+    def test_slicing_returns_index_candidates(self):
+        plan, cluster = _random_case(6)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=6).enumerate_indices(plan, 10)
+        view = cands[2:7]
+        assert isinstance(view, IndexCandidates)
+        assert len(view) == min(7, len(cands)) - 2
+        np.testing.assert_array_equal(view.assignment,
+                                      cands.assignment[2:7])
+        assert dict(view[0].items()) == dict(cands[2].items())
+
+    def test_materialization_is_cached(self):
+        plan, cluster = _random_case(8)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=8).enumerate_indices(plan, 5)
+        assert cands[1] is cands[1]
+        assert cands[-1] is cands[len(cands) - 1]
+
+
+class TestIndexedCollation:
+    """Vectorized core vs the retained reference loop, field for field."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5, 9, 13])
+    @pytest.mark.parametrize("neighbor_rounds", [True, False])
+    def test_randomized_candidates(self, seed, neighbor_rounds):
+        plan, cluster = _random_case(seed)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=seed).enumerate_indices(plan, 12)
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        host_features = featurize_hosts(cluster, featurizer)
+        fast = collate_candidates(plan_features, cands, host_features,
+                                  neighbor_rounds=neighbor_rounds)
+        slow = collate_candidates_reference(
+            plan_features, list(cands), host_features,
+            neighbor_rounds=neighbor_rounds)
+        assert_batches_equal(fast, slow)
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_matches_per_graph_reference(self, seed):
+        """End-to-end anchor: the index batch equals the loop-collated
+        per-candidate graphs, not just the direct-batching reference."""
+        plan, cluster = _random_case(seed)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=seed).enumerate_indices(plan, 8)
+        featurizer = Featurizer()
+        fast = collate_candidates(featurize_plan(plan, featurizer),
+                                  cands,
+                                  featurize_hosts(cluster, featurizer))
+        slow = collate_reference(
+            [build_graph(plan, p, cluster, featurizer) for p in cands])
+        assert_batches_equal(fast, slow)
+
+    def test_string_placements_take_the_index_path(self):
+        """Total placements in plan order vectorize identically."""
+        plan, cluster = _random_case(10)
+        placements = HeuristicPlacementEnumerator(
+            cluster, seed=10).enumerate(plan, 10)
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        host_features = featurize_hosts(cluster, featurizer)
+        assert_batches_equal(
+            collate_candidates(plan_features, placements, host_features),
+            collate_candidates_reference(plan_features, placements,
+                                         host_features))
+
+    def test_out_of_order_placements_fall_back(self):
+        """A dict in non-plan order keeps the reference loop's exact
+        host/edge ordering semantics."""
+        plan, cluster = _random_case(12)
+        placement = HeuristicPlacementEnumerator(
+            cluster, seed=12).sample(plan)
+        shuffled = Placement(dict(reversed(list(placement.items()))))
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        host_features = featurize_hosts(cluster, featurizer)
+        fast = collate_candidates(plan_features, [shuffled, shuffled],
+                                  host_features)
+        slow = collate_candidates_reference(
+            plan_features, [shuffled, shuffled], host_features)
+        assert_batches_equal(fast, slow)
+
+    def test_degenerate_single_host_candidates(self):
+        """Every operator on one node: one host row per candidate."""
+        plan, cluster = _random_case(14, n_nodes=4)
+        op_ids = tuple(plan.topological_order())
+        node_ids = tuple(cluster.node_ids)
+        matrix = np.zeros((3, len(op_ids)), dtype=np.int64)
+        matrix[1, :] = 2          # all ops on node 2
+        matrix[2, :] = len(node_ids) - 1
+        cands = IndexCandidates(matrix, op_ids, node_ids)
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        host_features = featurize_hosts(cluster, featurizer)
+        fast = collate_candidates(plan_features, cands, host_features)
+        slow = collate_candidates_reference(plan_features, list(cands),
+                                            host_features)
+        assert_batches_equal(fast, slow)
+        assert fast.type_rows["host"].size == 3
+
+    def test_fallback_to_strongest_candidates(self):
+        """Mixed rows including the enumerator's strongest-host
+        fallback shape (repeated node, every op colocated there)."""
+        plan, cluster = _random_case(16, n_nodes=3)
+        enumerator = HeuristicPlacementEnumerator(cluster, seed=16)
+        strongest = enumerator._strongest_index
+        sampled = enumerator.enumerate_indices(plan, 4)
+        matrix = np.vstack([
+            sampled.assignment,
+            np.full((1, sampled.n_ops), strongest, dtype=np.int64)])
+        cands = IndexCandidates(matrix, sampled.op_ids,
+                                sampled.node_ids)
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        host_features = featurize_hosts(cluster, featurizer)
+        assert_batches_equal(
+            collate_candidates(plan_features, cands, host_features),
+            collate_candidates_reference(plan_features, list(cands),
+                                         host_features))
+
+    def test_partial_index_candidates_rejected(self):
+        plan, cluster = _random_case(18)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=18).enumerate_indices(plan, 4)
+        partial = IndexCandidates(cands.assignment[:, :-1],
+                                  cands.op_ids[:-1], cands.node_ids)
+        featurizer = Featurizer()
+        with pytest.raises(ValueError):
+            collate_candidates(featurize_plan(plan, featurizer),
+                               partial,
+                               featurize_hosts(cluster, featurizer))
+
+    def test_empty_candidates_rejected(self):
+        plan, cluster = _random_case(19)
+        empty = IndexCandidates(
+            np.empty((0, len(plan)), dtype=np.int64),
+            tuple(plan.topological_order()), tuple(cluster.node_ids))
+        featurizer = Featurizer()
+        with pytest.raises(ValueError):
+            collate_candidates(featurize_plan(plan, featurizer), empty,
+                               featurize_hosts(cluster, featurizer))
+
+    def test_subset_host_features_cover_used_nodes(self):
+        """A host_features dict restricted to the nodes the candidates
+        actually use works on the index path, exactly as the
+        reference loop allows; a *used* node missing still raises."""
+        plan, cluster = _random_case(15, n_nodes=5)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=15).enumerate_indices(plan, 6)
+        used = sorted({cands.node_ids[i]
+                       for i in np.unique(cands.assignment)})
+        featurizer = Featurizer()
+        plan_features = featurize_plan(plan, featurizer)
+        subset = featurize_hosts(cluster, featurizer, node_ids=used)
+        fast = collate_candidates(plan_features, cands, subset)
+        slow = collate_candidates_reference(plan_features, list(cands),
+                                            subset)
+        assert_batches_equal(fast, slow)
+        if len(used) > 1:
+            missing_used = dict(subset)
+            missing_used.pop(used[0])
+            with pytest.raises(KeyError):
+                collate_candidates(plan_features, cands, missing_used)
+
+    def test_host_feature_matrix_cached(self):
+        plan, cluster = _random_case(20)
+        host_features = featurize_hosts(cluster, Featurizer())
+        assert isinstance(host_features, HostFeatures)
+        matrix = host_features.matrix(cluster.node_ids)
+        assert matrix is host_features.matrix(cluster.node_ids)
+        for row, node_id in zip(matrix, cluster.node_ids):
+            np.testing.assert_array_equal(row, host_features[node_id])
+
+
+class TestFloat32IndexPath:
+    def test_float32_end_to_end_matches_reference(self):
+        plan, cluster = _random_case(22)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=22).enumerate_indices(plan, 10)
+        featurizer = Featurizer()
+        with float32_inference():
+            plan_features = featurize_plan(plan, featurizer)
+            host_features = featurize_hosts(cluster, featurizer)
+            fast = collate_candidates(plan_features, cands,
+                                      host_features)
+            slow = collate_candidates_reference(
+                plan_features, list(cands), host_features)
+        for features in fast.type_features.values():
+            assert features.dtype == np.float32
+        assert_batches_equal(fast, slow)
+
+    def test_float32_decision_through_index_path(self):
+        """A full decision inside float32_inference flows the index
+        candidates through collation and never flips dtype."""
+        plan, cluster = _random_case(23)
+        config = TrainingConfig(hidden_dim=16)
+        model = Costream(metrics=("processing_latency", "success",
+                                  "backpressure"),
+                         ensemble_size=2, config=config, seed=0)
+        optimizer = PlacementOptimizer(model)
+        float64 = optimizer.optimize(plan, cluster, n_candidates=8,
+                                     seed=3)
+        with float32_inference():
+            float32 = optimizer.optimize(plan, cluster, n_candidates=8,
+                                         seed=3)
+        assert float32.placement.validate(plan, cluster) is None
+        assert float32.predicted_objective == pytest.approx(
+            float64.predicted_objective, rel=5e-4)
+
+
+class TestIndexConsumers:
+    @pytest.fixture(scope="class")
+    def model(self):
+        config = TrainingConfig(hidden_dim=16)
+        return Costream(metrics=("processing_latency", "success",
+                                 "backpressure"),
+                        ensemble_size=2, config=config, seed=0)
+
+    def test_collate_placements_accepts_index_candidates(self, model):
+        plan, cluster = _random_case(30)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=30).enumerate_indices(plan, 9)
+        indexed = model.collate_placements(plan, cands, cluster)
+        strings = model.collate_placements(plan, list(cands), cluster)
+        for fast, slow in zip(indexed, strings):
+            assert_batches_equal(fast, slow)
+
+    def test_optimizer_decision_unchanged(self, model):
+        """optimize() through the index path picks the same placement
+        as scoring eagerly-materialized string candidates."""
+        plan, cluster = _random_case(31)
+        decision = PlacementOptimizer(model).optimize(
+            plan, cluster, n_candidates=10, seed=5)
+        candidates = HeuristicPlacementEnumerator(
+            cluster, seed=5).enumerate(plan, 10)
+        optimizer = PlacementOptimizer(model)
+        values, feasible = optimizer.score(
+            model.collate_placements(plan, candidates, cluster))
+        best, n_feasible = optimizer.select(values, feasible)
+        assert decision.placement == candidates[best]
+        assert decision.predicted_objective == float(values[best])
+        assert decision.feasible_candidates == n_feasible
+
+    def test_batcher_accepts_index_candidates_in_requests(self, model):
+        plan, cluster = _random_case(32)
+        cands = HeuristicPlacementEnumerator(
+            cluster, seed=7).enumerate_indices(plan, 8)
+        batcher = DecisionBatcher(model)
+        indexed = batcher.decide([DecisionRequest(
+            plan=plan, cluster=cluster, candidates=cands)])
+        strings = batcher.decide([DecisionRequest(
+            plan=plan, cluster=cluster,
+            candidates=tuple(cands))])
+        assert indexed[0].placement == strings[0].placement
+        assert indexed[0].predicted_objective \
+            == strings[0].predicted_objective
+
+    def test_select_matches_listcomp_with_ties(self, model):
+        """The vectorized select keeps the argsort tie-break exactly,
+        including tied objective values and empty feasible sets."""
+        optimizer = PlacementOptimizer(model)
+        maximizer = PlacementOptimizer(
+            Costream(metrics=("throughput",), ensemble_size=1,
+                     config=TrainingConfig(hidden_dim=8), seed=1),
+            objective="throughput")
+        rng = np.random.default_rng(0)
+        for trial in range(60):
+            n = int(rng.integers(1, 25))
+            # Quantized values force ties; p covers none/some feasible.
+            values = rng.integers(0, 4, n) / 2.0
+            feasible = rng.random(n) < rng.random()
+            for picker in (optimizer, maximizer):
+                order = np.argsort(values)
+                if picker.objective == "throughput":
+                    order = order[::-1]
+                feasible_order = [i for i in order if feasible[i]]
+                expected = (feasible_order[0] if feasible_order
+                            else int(order[0]))
+                assert picker.select(values, feasible) \
+                    == (expected, len(feasible_order))
+
+
+class TestPlacementInverse:
+    def test_operators_on_and_used_nodes(self):
+        placement = Placement({"a": "n1", "b": "n2", "c": "n1",
+                               "d": "n3"})
+        assert placement.used_nodes() == ["n1", "n2", "n3"]
+        assert placement.operators_on("n1") == ["a", "c"]
+        assert placement.operators_on("n2") == ["b"]
+        assert placement.operators_on("missing") == []
+
+    def test_returned_lists_are_copies(self):
+        placement = Placement({"a": "n1", "b": "n1"})
+        placement.operators_on("n1").append("poison")
+        assert placement.operators_on("n1") == ["a", "b"]
+        placement.used_nodes().append("poison")
+        assert placement.used_nodes() == ["n1"]
+
+    def test_with_move_gets_fresh_inverse(self):
+        placement = Placement({"a": "n1", "b": "n2"})
+        assert placement.used_nodes() == ["n1", "n2"]
+        moved = placement.with_move("b", "n1")
+        assert moved.used_nodes() == ["n1"]
+        assert moved.operators_on("n1") == ["a", "b"]
+        # The original is untouched.
+        assert placement.operators_on("n2") == ["b"]
