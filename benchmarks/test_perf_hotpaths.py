@@ -53,6 +53,9 @@ def test_perf_hotpaths(benchmark, context, shape_checks, report,
         {"path": "epoch",
          "speedup": results["epoch"]["speedup"],
          "fast": f"{results['epoch']['fast_s_per_epoch']:.2f} s"},
+        {"path": "ensemble_train",
+         "speedup": results["ensemble_train"]["speedup"],
+         "fast": f"{results['ensemble_train']['stacked_s_per_epoch']:.2f} s"},
     ], title="Hot-path speedups (vs pre-optimization code)")
 
     # Correctness is asserted at every scale: the fast path must be a
@@ -70,6 +73,13 @@ def test_perf_hotpaths(benchmark, context, shape_checks, report,
     assert collation["float64_max_abs_delta"] <= EQUIVALENCE_TOLERANCE
     assert collation["fields_equal"]
     assert collation["chosen_identical"]
+    # ISSUE-5: the stacked K-member training step must reproduce the
+    # sequential member loop EXACTLY under the shared schedule — loss
+    # trajectories (delta 0.0) and final parameters.
+    train = results["ensemble_train"]
+    assert train["max_abs_train_loss_delta"] == 0.0
+    assert train["histories_equal"]
+    assert train["params_equal"]
 
     if shape_checks:
         assert results["placement_decision"]["speedup"] >= 5.0
@@ -90,3 +100,8 @@ def test_perf_hotpaths(benchmark, context, shape_checks, report,
         # ~1.06x on one core, ~1.6x at tiny scale where the CI gate
         # enforces 1.2x).
         assert throughput["speedup"] >= 1.0
+        # ISSUE-5 stacked training: measured ~1.45-1.55x at small
+        # scale in a fresh process (the nightly gate's 1.3 floor runs
+        # there); in-suite the live heap adds noise, so assert the
+        # derated floor.
+        assert train["speedup"] >= 1.25

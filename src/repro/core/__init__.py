@@ -11,7 +11,8 @@ from .graph import (GraphBatch, HostFeatures, PlanFeatures, QueryGraph,
                     featurize_plan, mega_mergeable, merge_batches)
 from .metrics import (balance_classes, classification_accuracy, q_error,
                       q_error_percentiles)
-from .model import CostreamGNN, MemberStack, MESSAGE_SCHEMES
+from .model import (CostreamGNN, MemberStack, MESSAGE_SCHEMES,
+                    TrainableMemberStack)
 from .persistence import load_costream, save_costream
 from .training import CostModel, TrainingConfig, TrainingHistory
 
@@ -25,7 +26,7 @@ __all__ = [
     "mega_mergeable", "merge_batches",
     "balance_classes", "classification_accuracy",
     "q_error", "q_error_percentiles", "CostreamGNN", "MemberStack",
-    "MESSAGE_SCHEMES",
+    "TrainableMemberStack", "MESSAGE_SCHEMES",
     "CostModel", "TrainingConfig", "TrainingHistory", "load_costream",
     "save_costream",
 ]

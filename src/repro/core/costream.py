@@ -9,7 +9,6 @@ from ..hardware.cluster import Cluster
 from ..hardware.placement import IndexCandidates, Placement
 from ..query.plan import QueryPlan
 from ..simulator.result import METRIC_NAMES, QueryMetrics
-from .dataset import GraphDataset
 from .ensemble import MetricEnsemble
 from .features import Featurizer
 from .graph import (GraphBatch, QueryGraph, build_graph, collate,
@@ -52,25 +51,40 @@ class Costream:
     def fit(self, traces: list[QueryTrace],
             val_traces: list[QueryTrace] | None = None) -> "Costream":
         """Train every metric ensemble on a trace corpus."""
-        dataset = GraphDataset.from_traces(traces, self.featurizer)
-        val_dataset = (GraphDataset.from_traces(val_traces, self.featurizer)
-                       if val_traces else None)
-        for metric, ensemble in self.ensembles.items():
-            graphs, labels = dataset.metric_view(metric)
-            if val_dataset is not None:
-                val_graphs, val_labels = val_dataset.metric_view(metric)
-                ensemble.fit(graphs, labels, val_graphs, val_labels)
-            else:
-                ensemble.fit(graphs, labels)
-        return self
+        val_corpus = self._corpus(val_traces) if val_traces else None
+        return self._train_metrics(self._corpus(traces), val_corpus)
 
     def fine_tune(self, traces: list[QueryTrace],
                   epochs: int = 15) -> "Costream":
-        """Few-shot adaptation on additional traces (Exp 5b)."""
-        dataset = GraphDataset.from_traces(traces, self.featurizer)
+        """Few-shot adaptation on a small extra corpus (Exp 5b)."""
+        return self._train_metrics(self._corpus(traces), epochs=epochs)
+
+    def _corpus(self, traces: list[QueryTrace]):
+        """Featurize a trace corpus once for every metric ensemble."""
+        # Imported here: repro.training builds on repro.core.
+        from ..training.corpus import TrainingCorpus
+
+        return TrainingCorpus.from_traces(traces, self.featurizer)
+
+    def _train_metrics(self, corpus, val_corpus=None,
+                       epochs: int | None = None) -> "Costream":
+        """The shared fit/fine-tune loop over one featurized corpus.
+
+        ``fit`` and ``fine_tune`` used to rebuild graphs and labels per
+        call with near-identical code; both now thread one
+        :class:`~repro.training.TrainingCorpus` (graphs built once,
+        metric views cached) into every ensemble, differing only in
+        the validation corpus and the epoch budget.
+        """
         for metric, ensemble in self.ensembles.items():
-            graphs, labels = dataset.metric_view(metric)
-            ensemble.fine_tune(graphs, labels, epochs=epochs)
+            graphs, labels = corpus.metric_view(metric)
+            if epochs is not None:
+                ensemble.fine_tune(graphs, labels, epochs=epochs)
+            elif val_corpus is not None:
+                val_graphs, val_labels = val_corpus.metric_view(metric)
+                ensemble.fit(graphs, labels, val_graphs, val_labels)
+            else:
+                ensemble.fit(graphs, labels)
         return self
 
     # ------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,6 +43,11 @@ class GraphDataset:
     graphs: list[QueryGraph]
     labels: dict[str, np.ndarray]
     traces: list[QueryTrace]
+    #: Metric views are pure slices of immutable state; every ensemble
+    #: (and every member) asking for the same metric shares one view
+    #: instead of rebuilding the graph/label lists per call.
+    _views: dict[str, tuple[list[QueryGraph], np.ndarray]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     @classmethod
     def from_traces(cls, traces: list[QueryTrace],
@@ -81,7 +86,15 @@ class GraphDataset:
 
     def metric_view(self, metric: str) -> tuple[list[QueryGraph],
                                                 np.ndarray]:
-        """(graphs, labels) restricted to the usable rows of a metric."""
-        rows = self.indices_for_metric(metric)
-        graphs = [self.graphs[i] for i in rows]
-        return graphs, self.labels[metric][rows]
+        """(graphs, labels) restricted to the usable rows of a metric.
+
+        Cached per metric: repeated calls (one per ensemble member,
+        plus ``fit``/``fine_tune`` plumbing) return the same lists.
+        """
+        view = self._views.get(metric)
+        if view is None:
+            rows = self.indices_for_metric(metric)
+            view = ([self.graphs[i] for i in rows],
+                    self.labels[metric][rows])
+            self._views[metric] = view
+        return view

@@ -62,17 +62,51 @@ class MetricEnsemble:
     def fit(self, graphs: list[QueryGraph], labels: np.ndarray,
             val_graphs: list[QueryGraph] | None = None,
             val_labels: np.ndarray | None = None) -> "MetricEnsemble":
-        for member in self.members:
-            member.fit(graphs, labels, val_graphs, val_labels)
+        self._train(graphs, labels, val_graphs, val_labels)
         self.invalidate_stacks()
         return self
 
     def fine_tune(self, graphs: list[QueryGraph], labels: np.ndarray,
                   epochs: int = 15) -> "MetricEnsemble":
-        for member in self.members:
-            member.fine_tune(graphs, labels, epochs=epochs)
+        self._train(graphs, labels, epochs=epochs)
         self.invalidate_stacks()
         return self
+
+    def _train(self, graphs, labels, val_graphs=None, val_labels=None,
+               epochs=None) -> None:
+        """Train the members: stacked lock-step when opted in
+        (``TrainingConfig.member_training == "stacked"`` and the
+        manual-step envelope covers the configuration), the historical
+        per-member loop otherwise.  The stacked run draws ONE shared
+        ensemble-seeded schedule; it is bitwise identical to looping
+        ``member.fit`` under that same schedule
+        (:func:`repro.training.fit_members_sequential`, the retained
+        and tested reference)."""
+        if self._stacked_training_supported():
+            # Imported here: repro.training builds on repro.core.
+            from ..training.stacked import StackedTrainer
+
+            StackedTrainer(self.members).fit(graphs, labels,
+                                             val_graphs, val_labels,
+                                             epochs=epochs)
+            return
+        for member in self.members:
+            member.fit(graphs, labels, val_graphs, val_labels,
+                       epochs=epochs)
+
+    def _stacked_training_supported(self) -> bool:
+        """Whether the opt-in stacked trainer covers this ensemble.
+
+        The envelope itself (staged scheme, no dropout, no legacy
+        kernels) has ONE definition — the manual step's, via
+        :meth:`StackedTrainer.supported` — so it cannot drift from
+        what the trainer actually accepts.
+        """
+        if self.members[0].config.member_training != "stacked":
+            return False
+        from ..training.stacked import StackedTrainer
+
+        return StackedTrainer(self.members).supported()
 
     # ------------------------------------------------------------------
     # Batched-GEMM member stack

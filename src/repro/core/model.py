@@ -32,7 +32,8 @@ from ..nn.losses import _loss_and_grad_arrays
 from .features import Featurizer, NODE_TYPES
 from .graph import GraphBatch, StageSlice
 
-__all__ = ["CostreamGNN", "MemberStack", "MESSAGE_SCHEMES"]
+__all__ = ["CostreamGNN", "MemberStack", "TrainableMemberStack",
+           "MESSAGE_SCHEMES"]
 
 MESSAGE_SCHEMES = ("staged", "traditional")
 
@@ -426,3 +427,185 @@ class MemberStack:
             hidden.reshape(size, n_nodes, hidden_dim), batch.n_graphs)
         return _segmented_readout(self.readout, pooled,
                                   batch.readout_segments, axis=1)
+
+
+class TrainableMemberStack(MemberStack):
+    """A *live* member stack: K members trained in one batched step.
+
+    Where :class:`MemberStack` is a read-only inference snapshot, this
+    stack owns gradient-carrying parameter Tensors (``(K, fan_in,
+    fan_out)`` weight stacks, stepped in place by
+    :class:`repro.nn.StackedAdam`) and runs the K members' manual
+    training step — :meth:`CostreamGNN.loss_and_grad` — as ONE stacked
+    forward/backward per mini-batch: stacked GEMMs
+    (:meth:`repro.nn.StackedMLP.backward_array`), shared-index
+    gathers, per-member bincount scatter-adds over one cache-hot flat
+    index, and per-member losses/gradients computed by the exact
+    per-member loss kernel.  Every batched kernel replays the
+    per-member kernel per slice, so — fed the same mini-batch — member
+    ``k``'s loss value and every parameter gradient are bitwise
+    identical to ``networks[k].loss_and_grad``; the
+    :class:`repro.training.StackedTrainer` equivalence tests pin the
+    whole trajectory down.
+
+    Construction *copies* the members' current weights in (preserving
+    each member's seed-derived initialization); the trainer writes
+    member slices back through :meth:`member_state` +
+    ``load_state_dict`` when training ends.  float64 and the ``staged``
+    scheme only, like the manual step it mirrors.
+    """
+
+    def __init__(self, networks: list[CostreamGNN]):
+        super().__init__(networks, np.float64)
+        for mlp in self._stacked_mlps():
+            mlp.make_trainable()
+        self._member_shapes = [param.data.shape
+                               for param in networks[0].parameters()]
+
+    def _stacked_mlps(self):
+        """Stacked MLPs in :meth:`CostreamGNN.parameters` order."""
+        yield from self.encoders.values()
+        yield from self.combiners.values()
+        yield self.readout
+
+    def parameters(self) -> list:
+        """Stacked parameter Tensors, ordered so index ``i`` stacks the
+        member networks' ``parameters()[i]``."""
+        return [param for mlp in self._stacked_mlps()
+                for param in mlp.trainable_parameters()]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def member_state(self, member: int) -> dict[str, np.ndarray]:
+        """One member's parameter slices as a
+        :meth:`~repro.nn.Module.state_dict` (member-shaped copies)."""
+        return {f"p{i}": param.data[member].reshape(shape).copy()
+                for i, (param, shape)
+                in enumerate(zip(self.parameters(),
+                                 self._member_shapes))}
+
+    # ------------------------------------------------------------------
+    def loss_and_grad(self, batch: GraphBatch, labels: np.ndarray,
+                      loss_kind: str) -> np.ndarray:
+        """One stacked training step; returns the ``(K,)`` loss values.
+
+        The member-stacked mirror of :meth:`CostreamGNN.loss_and_grad`.
+        The K members' hidden states live in one ``(K * n_nodes,
+        hidden)`` buffer so every gather and row update is a fast
+        axis-0 fancy index over row-tiled node indices
+        (:meth:`~repro.core.graph.GraphBatch.member_train_plan` — row
+        tiling only: the ``size * E * width`` flat-index expansion the
+        inference stacks cache would never amortize on a batch that is
+        consumed once).  Every GEMM runs stacked over the ``(K, n,
+        d)`` member axis (:class:`repro.nn.StackedMLP` — per-slice
+        bitwise identical to the per-member GEMMs); every scatter-add
+        loops the per-member bincount kernel over the batch-cached
+        untiled flat index (cache-hot across members), so the
+        per-member equivalence is literal.  Losses and output
+        gradients come from the per-member loss kernel; gradients
+        accumulate into the stacked parameter Tensors.
+        """
+        size = self.size
+        hidden_dim = self.hidden_dim
+        n_nodes = batch.n_nodes
+        hidden = np.zeros((size * n_nodes, hidden_dim))
+        hidden3 = hidden.reshape(size, n_nodes, hidden_dim)
+        encode_cache = []
+        for node_type, rows in batch.member_type_rows(size).items():
+            out, cache = self.encoders[node_type].forward_array_cached(
+                batch.type_features[node_type])
+            hidden[rows] = out.reshape(-1, hidden_dim)
+            encode_cache.append((node_type, rows, cache))
+
+        update_cache = []
+        combiners = self.combiners
+        for entry in batch.member_train_plan(size):
+            node_type, stage, recv, src, _ = entry
+            n_recv = stage.recv_rows.size
+            if src is not None:
+                messages = hidden[src].reshape(size, -1, hidden_dim)
+                flat_seg = stage.flat_seg(hidden_dim)
+                aggregated = np.empty((size, n_recv, hidden_dim))
+                for k in range(size):
+                    aggregated[k] = _flat_scatter_add(
+                        flat_seg, messages[k], n_recv)
+            else:
+                aggregated = np.zeros((size, n_recv, hidden_dim))
+            own = hidden[recv].reshape(size, n_recv, hidden_dim)
+            combined = np.concatenate([aggregated, own], axis=-1)
+            out, cache = combiners[node_type].forward_array_cached(
+                combined)
+            hidden[recv] = out.reshape(-1, hidden_dim)
+            update_cache.append((entry, cache))
+
+        flat_gid = batch.flat_graph_id(hidden_dim)
+        pooled = np.empty((size, batch.n_graphs, hidden_dim))
+        for k in range(size):
+            pooled[k] = _flat_scatter_add(flat_gid, hidden3[k],
+                                          batch.n_graphs)
+        raw, readout_cache = self.readout.forward_array_cached(pooled)
+        pred = np.squeeze(raw, axis=-1).reshape(size, -1)
+        losses = np.empty(size)
+        grad_pred = np.empty_like(pred)
+        for k in range(size):
+            # The per-member loss kernel on the member's contiguous
+            # prediction slice: values and gradients are the per-member
+            # step's, by construction.
+            losses[k], grad_pred[k] = _loss_and_grad_arrays(
+                pred[k], labels, loss_kind)
+
+        grad_pooled = self.readout.backward_array(
+            grad_pred[:, :, None], readout_cache)
+        grad_hidden = grad_pooled.reshape(-1, hidden_dim)[
+            batch.member_graph_rows(size)]
+        grad_hidden3 = grad_hidden.reshape(size, n_nodes, hidden_dim)
+        own_dense = np.zeros((size * n_nodes, hidden_dim))
+        for entry, cache in reversed(update_cache):
+            node_type, stage, recv, src, seg = entry
+            grad_updated = grad_hidden[recv].reshape(
+                size, stage.recv_rows.size, hidden_dim)
+            grad_hidden[recv] = 0.0
+            grad_combined = combiners[node_type].backward_array(
+                grad_updated, cache)
+            grad_own = grad_combined[:, :, hidden_dim:]
+            # Receiver rows are unique, so the reference's
+            # ``_scatter_add(recv, grad_own, n)`` dense array is
+            # ``0.0 + grad_own`` at the recv rows and 0.0 elsewhere —
+            # row assignment reproduces the bincount output bit for
+            # bit (IEEE addition is commutative), with no flat index.
+            own_dense[recv] = np.add(grad_own, 0.0) \
+                .reshape(-1, hidden_dim)
+            grad_hidden += own_dense
+            own_dense[recv] = 0.0
+            if src is not None:
+                grad_agg = grad_combined[:, :, :hidden_dim]
+                grad_messages = grad_agg.reshape(-1, hidden_dim)[seg] \
+                    .reshape(size, -1, hidden_dim)
+                flat_src = stage.flat_src(hidden_dim)
+                for k in range(size):
+                    grad_hidden3[k] += _flat_scatter_add(
+                        flat_src, grad_messages[k], n_nodes)
+        for node_type, rows, cache in reversed(encode_cache):
+            self.encoders[node_type].backward_array(
+                grad_hidden[rows].reshape(size, -1, hidden_dim), cache,
+                input_grad=False)
+        return losses
+
+    def loss_over_batches(self, pairs, loss_kind: str) -> np.ndarray:
+        """``(K,)`` mean losses over pre-collated ``(batch, labels)``
+        pairs — the stacked mirror of
+        :meth:`~repro.core.training.CostModel._loss_over_batches`
+        (same per-batch loss values, same graph-count-weighted
+        accumulation order per member)."""
+        total = np.zeros(self.size)
+        count = 0
+        for batch, chunk_labels in pairs:
+            raw = self.forward_arrays(batch).reshape(self.size, -1)
+            for member in range(self.size):
+                loss, _ = _loss_and_grad_arrays(raw[member],
+                                                chunk_labels, loss_kind)
+                total[member] += loss * batch.n_graphs
+            count += batch.n_graphs
+        return total / max(count, 1)

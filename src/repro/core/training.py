@@ -20,7 +20,8 @@ from .features import Featurizer
 from .graph import GraphBatch, QueryGraph, as_batches, collate
 from .model import CostreamGNN
 
-__all__ = ["TrainingConfig", "CostModel", "TrainingHistory"]
+__all__ = ["TrainingConfig", "CostModel", "TrainingHistory",
+           "paired_batches", "holdout_size", "resolve_loss_kind"]
 
 
 def _oversampled_pool(labels: np.ndarray) -> np.ndarray:
@@ -33,6 +34,44 @@ def _oversampled_pool(labels: np.ndarray) -> np.ndarray:
     minority, majority = sorted((positives, negatives), key=len)
     repeats = max(1, majority.size // max(minority.size, 1))
     return np.concatenate([majority] + [minority] * repeats)
+
+
+def paired_batches(graphs, labels: np.ndarray, batch_size: int
+                   ) -> list[tuple["GraphBatch", np.ndarray]]:
+    """Collate (graphs, labels) into aligned evaluation batches.
+
+    Module-level so :class:`repro.training.BatchSchedule` caches the
+    exact pairs :meth:`CostModel._paired_batches` would build.
+    """
+    batches = as_batches(graphs, batch_size)
+    pairs = []
+    start = 0
+    for batch in batches:
+        pairs.append((batch, labels[start:start + batch.n_graphs]))
+        start += batch.n_graphs
+    return pairs
+
+
+def holdout_size(n_graphs: int, val_fraction: float) -> int:
+    """Validation rows held out of ``n_graphs`` training graphs.
+
+    A too-small validation split makes early stopping pick an
+    arbitrary epoch; hold out at least ~20 graphs when the dataset
+    affords it.  ONE definition, shared by :meth:`CostModel.fit` and
+    the stacked trainer — the bitwise equivalence between them rests
+    on identical splits, so the formula must not fork.
+    """
+    return max(1, int(n_graphs * val_fraction),
+               min(20, n_graphs // 5))
+
+
+def resolve_loss_kind(config: "TrainingConfig",
+                      is_regression: bool) -> str:
+    """The concrete loss behind ``config.loss`` (``"auto"`` resolves
+    by metric kind) — shared by the sequential and stacked trainers."""
+    if config.loss == "auto":
+        return "msle" if is_regression else "bce"
+    return config.loss
 
 
 @dataclass(frozen=True)
@@ -53,6 +92,15 @@ class TrainingConfig:
     loss: str = "auto"          # "msle" | "mse" | "bce" | "auto"
     dropout: float = 0.0
     balance_classes: bool = True  # oversample minority class (binary)
+    #: How :class:`~repro.core.ensemble.MetricEnsemble` trains its
+    #: members: ``"per_member"`` (the historical default: K sequential
+    #: ``CostModel.fit`` runs, each drawing its own member-seeded
+    #: schedule) or ``"stacked"`` (the
+    #: :class:`repro.training.StackedTrainer`: one shared
+    #: ensemble-seeded schedule, all K members stepped in one
+    #: batched-GEMM forward/backward per mini-batch — bitwise
+    #: identical to the sequential loop under that shared schedule).
+    member_training: str = "per_member"
 
 
 @dataclass
@@ -85,9 +133,7 @@ class CostModel:
         return self.metric in REGRESSION_METRICS
 
     def _loss(self, output: Tensor, labels: np.ndarray) -> Tensor:
-        loss_kind = self.config.loss
-        if loss_kind == "auto":
-            loss_kind = "msle" if self.is_regression else "bce"
+        loss_kind = resolve_loss_kind(self.config, self.is_regression)
         if loss_kind == "msle":
             return msle_loss(output, labels)
         if loss_kind == "mse":
@@ -101,7 +147,8 @@ class CostModel:
     def fit(self, graphs: list[QueryGraph], labels: np.ndarray,
             val_graphs: list[QueryGraph] | None = None,
             val_labels: np.ndarray | None = None,
-            epochs: int | None = None, pool=None) -> TrainingHistory:
+            epochs: int | None = None, pool=None,
+            schedule=None) -> TrainingHistory:
         """Train until convergence or the epoch budget is exhausted.
 
         ``pool`` (a :class:`repro.serving.WorkerPool`) opts in to
@@ -110,16 +157,23 @@ class CostModel:
         deterministic for a fixed pool size, equal to the unsharded
         step up to float64 round-off, and falling back to the taped
         single-process path for configurations without a manual step.
+
+        ``schedule`` (a :class:`repro.training.BatchSchedule`) replaces
+        the member-seeded RNG draws — train/val split and per-epoch
+        shuffles — with a shared, cached source, and serves each
+        mini-batch's collation from the schedule's cache.  This is how
+        K ensemble members train comparably: the same ``fit`` loop
+        under one schedule is the sequential reference the stacked
+        trainer (:class:`repro.training.StackedTrainer`) is bitwise
+        identical to.
         """
         labels = np.asarray(labels, dtype=np.float64)
-        rng = np.random.default_rng(self.seed)
+        rng = (np.random.default_rng(self.seed) if schedule is None
+               else None)
         if val_graphs is None:
-            # A too-small validation split makes early stopping pick an
-            # arbitrary epoch; hold out at least ~20 graphs when the
-            # dataset affords it.
-            n_val = max(1, int(len(graphs) * self.config.val_fraction),
-                        min(20, len(graphs) // 5))
-            order = rng.permutation(len(graphs))
+            n_val = holdout_size(len(graphs), self.config.val_fraction)
+            order = (rng.permutation(len(graphs)) if schedule is None
+                     else schedule.split_order(len(graphs)))
             val_rows, train_rows = order[:n_val], order[n_val:]
             val_graphs = [graphs[i] for i in val_rows]
             val_labels = labels[val_rows]
@@ -146,15 +200,17 @@ class CostModel:
             sample_pool = _oversampled_pool(labels)
 
         # The validation mini-batches are identical every epoch;
-        # collate them once instead of rebuilding them per epoch.
-        val_pairs = self._paired_batches(val_graphs, val_labels)
+        # collate them once instead of rebuilding them per epoch
+        # (once per *ensemble* when a shared schedule caches them).
+        val_pairs = (self._paired_batches(val_graphs, val_labels)
+                     if schedule is None
+                     else schedule.val_pairs(val_graphs, val_labels,
+                                             self.config.batch_size))
 
         # The manual (tape-free) step covers the default configuration;
         # dropout, the traditional scheme and legacy kernels fall back
         # to the taped autodiff path.  Both are bitwise identical.
-        loss_kind = self.config.loss
-        if loss_kind == "auto":
-            loss_kind = "msle" if self.is_regression else "bce"
+        loss_kind = resolve_loss_kind(self.config, self.is_regression)
 
         if pool is not None:
             # Imported here: repro.serving builds on repro.core.
@@ -164,7 +220,9 @@ class CostModel:
         for epoch in range(budget):
             optimizer.lr = self.config.learning_rate * (
                 self.config.lr_decay ** (epoch // self.config.lr_decay_every))
-            order = sample_pool[rng.permutation(len(sample_pool))]
+            order = (sample_pool[rng.permutation(len(sample_pool))]
+                     if schedule is None
+                     else schedule.epoch_order(epoch, sample_pool))
             epoch_loss = 0.0
             n_batches = 0
             manual_step = self.network.supports_manual_step()
@@ -185,7 +243,9 @@ class CostModel:
                     epoch_loss += loss_value
                     n_batches += 1
                     continue
-                batch = collate([graphs[i] for i in rows])
+                batch = (collate([graphs[i] for i in rows])
+                         if schedule is None
+                         else schedule.train_batch(graphs, rows))
                 if manual_step:
                     optimizer.zero_grad()
                     loss_value = self.network.loss_and_grad(
@@ -226,13 +286,7 @@ class CostModel:
     def _paired_batches(self, graphs, labels: np.ndarray
                         ) -> list[tuple[GraphBatch, np.ndarray]]:
         """Collate (graphs, labels) into aligned evaluation batches."""
-        batches = as_batches(graphs, self.config.batch_size)
-        pairs = []
-        start = 0
-        for batch in batches:
-            pairs.append((batch, labels[start:start + batch.n_graphs]))
-            start += batch.n_graphs
-        return pairs
+        return paired_batches(graphs, labels, self.config.batch_size)
 
     def _loss_over_batches(self, pairs: list[tuple[GraphBatch, np.ndarray]]
                            ) -> float:

@@ -5,12 +5,14 @@ from .autodiff import (Tensor, concat, float32_inference, gather,
                        scatter_rows, segment_sum, stack)
 from .layers import MLP, Dropout, Linear, Module, StackedMLP
 from .losses import bce_with_logits_loss, mse_loss, msle_loss
-from .optim import Adam, SGD, clip_grad_norm
+from .optim import (Adam, SGD, StackedAdam, clip_grad_norm,
+                    stacked_clip_grad_norm)
 
 __all__ = [
     "Tensor", "concat", "gather", "scatter_rows", "segment_sum", "stack",
     "no_grad", "is_grad_enabled", "float32_inference", "inference_dtype",
     "Module", "Linear", "MLP", "Dropout", "StackedMLP",
     "msle_loss", "mse_loss", "bce_with_logits_loss",
-    "SGD", "Adam", "clip_grad_norm",
+    "SGD", "Adam", "StackedAdam", "clip_grad_norm",
+    "stacked_clip_grad_norm",
 ]

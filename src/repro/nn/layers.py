@@ -349,3 +349,86 @@ class StackedMLP:
             if i < last:
                 x = x * (x > 0.0)
         return x
+
+    # ------------------------------------------------------------------
+    # Trainable stacks (the K-member batched training step)
+    # ------------------------------------------------------------------
+    def make_trainable(self) -> "StackedMLP":
+        """Wrap the weight stacks in gradient-carrying Tensors.
+
+        After this call the stack is *live*: :attr:`weights` /
+        :attr:`biases` alias the Tensors' ``data`` arrays, so an
+        optimizer stepping the Tensors in place is immediately visible
+        to :meth:`forward_array` / :meth:`forward_array_cached`.
+        Training runs in float64 only — the dtype the members train in.
+        """
+        if self.dtype != np.float64:
+            raise ValueError("trainable stacks are float64 only")
+        self.weight_params = [Tensor(w, requires_grad=True)
+                              for w in self.weights]
+        self.bias_params = [Tensor(b, requires_grad=True)
+                            for b in self.biases]
+        # Tensor() of a float64 array does not copy: keep the aliased
+        # arrays so forward reads the live parameter values.
+        self.weights = [p.data for p in self.weight_params]
+        self.biases = [p.data for p in self.bias_params]
+        return self
+
+    def trainable_parameters(self) -> list[Tensor]:
+        """Stacked parameters in :meth:`MLP.parameters` order
+        (``layer0.weight, layer0.bias, layer1.weight, ...``)."""
+        params: list[Tensor] = []
+        for weight, bias in zip(self.weight_params, self.bias_params):
+            params.append(weight)
+            params.append(bias)
+        return params
+
+    def forward_array_cached(self, x):
+        """Like :meth:`forward_array`, returning the cache the stacked
+        backward needs — the member-stacked mirror of
+        :meth:`MLP.forward_array_cached` (same kernels per ``(n, d)``
+        slice, so activations and masks are bitwise identical per
+        member)."""
+        activations = [x]
+        masks = []
+        last = len(self.weights) - 1
+        for i, (weight, bias) in enumerate(zip(self.weights,
+                                               self.biases)):
+            x = np.matmul(x, weight) + bias
+            if i < last:
+                mask = x > 0.0
+                x = x * mask
+                masks.append(mask)
+                activations.append(x)
+        return x, (activations, masks)
+
+    def backward_array(self, grad, cache, input_grad: bool = True):
+        """Stacked manual backward matching :meth:`MLP.backward_array`
+        bit for bit per member.
+
+        ``grad`` is ``(K, n, fan_out)``; every GEMM is one batched
+        ``np.matmul`` whose per-member slices run the exact 2-D kernels
+        of the per-member backward (transposes are views, exactly as
+        ``weight.data.T`` is), and the bias gradient
+        ``grad.sum(axis=1, keepdims=True)`` reduces each member's
+        contiguous block exactly like the per-member
+        ``_unbroadcast`` sum.  Activations cached from a *shared* 2-D
+        input (the encoder case) produce the weight gradient through
+        one broadcast ``np.matmul`` — again the same per-member GEMM.
+        Gradients accumulate into the trainable Tensors; the input
+        gradient is returned, or ``None`` with ``input_grad=False``.
+        """
+        activations, masks = cache
+        g = grad
+        for i in range(len(self.weights) - 1, -1, -1):
+            act = activations[i]
+            act_t = act.transpose(0, 2, 1) if act.ndim == 3 else act.T
+            _accumulate_array(self.weight_params[i], np.matmul(act_t, g))
+            _accumulate_array(self.bias_params[i],
+                              g.sum(axis=1, keepdims=True))
+            if i == 0 and not input_grad:
+                return None
+            g = np.matmul(g, self.weights[i].transpose(0, 2, 1))
+            if i > 0:
+                g = g * masks[i - 1]
+        return g

@@ -2,22 +2,26 @@
 
 The numpy substrate holds the GIL for most of a forward, so scaling
 past one core needs processes.  :class:`WorkerPool` wraps a persistent
-``concurrent.futures.ProcessPoolExecutor`` (``fork`` start method):
+``concurrent.futures.ProcessPoolExecutor`` (``fork`` start method),
+with **shared-memory parameter arrays** so neither serving nor
+training ever pickles weights:
 
 * **Decision waves** — the model is registered in a module-level table
-  *before* the executor forks its workers, so every worker inherits
-  the trained weights (and lazily builds its member stacks) through
-  fork's copy-on-write memory — nothing is pickled per wave except the
-  requests and decisions.  Weight snapshots follow the
-  :class:`~repro.core.model.MemberStack` staleness rules: the pool
-  holds strong references to the registered parameter arrays and
-  restarts its workers when any is *replaced* (``fit``,
-  ``load_state_dict``); in-place ``param.data`` writes require
-  :meth:`WorkerPool.restart`.
+  *before* the executor forks its workers (inherited through fork's
+  copy-on-write memory), and its parameter values live in an
+  anonymous-``mmap`` :class:`_SharedBlock` both sides map.  A
+  staleness refresh — ``fit`` / ``load_state_dict`` replacing the
+  parameter arrays — no longer reforks the workers: the parent copies
+  the new values into the shared block and bumps its generation
+  counter; each worker syncs its copy-on-write model in place (and
+  invalidates its member stacks) when it sees the bump.  Only a
+  *different* model/objective (or changed parameter shapes) still
+  reforks.
 * **Gradient shards** — :func:`sharded_loss_and_grad` splits one
-  training mini-batch across the workers; weights change every step,
-  so the current ``state_dict`` ships with each task and workers cache
-  only the network skeleton.
+  training mini-batch across the workers.  Worker network skeletons
+  alias their parameters directly to the shared block's views, so the
+  parent's pre-submit ``block.write`` is the only weight traffic per
+  step — the per-step ``state_dict`` pickling is gone.
 
 Determinism: every request's decision is independent of how a wave is
 sharded (the mega-batch forward is bitwise row-invariant), so pooled
@@ -31,6 +35,7 @@ identical to the pooled run — the CI-stable mode.
 from __future__ import annotations
 
 import itertools
+import mmap
 import multiprocessing as mp
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -52,11 +57,65 @@ __all__ = ["WorkerPool", "sharded_loss_and_grad"]
 #: the parent before its executor starts, copied into every worker by
 #: ``fork``; entries are dropped when the owning pool closes.
 _FORK_MODELS: dict[int, tuple] = {}
+#: Shared parameter blocks for gradient sharding, keyed by
+#: ``(pool token, network spec)`` — registered pre-fork like the
+#: models, so workers inherit the mapping (anonymous ``mmap`` needs no
+#: name, no attach, no cleanup beyond the last unmap).
+_GRAD_BLOCKS: dict[tuple, "_SharedBlock"] = {}
 _TOKENS = itertools.count(1)
 
 #: Worker-side caches (live only inside worker processes).
 _WORKER_BATCHERS: dict[int, object] = {}
+_WORKER_GENERATIONS: dict[int, int] = {}
 _WORKER_NETWORKS: dict[tuple, object] = {}
+
+
+class _SharedBlock:
+    """Parameter arrays in anonymous shared memory, plus a generation.
+
+    One ``mmap.mmap(-1, ...)`` segment (``MAP_SHARED | MAP_ANONYMOUS``)
+    holds an ``int64`` generation counter followed by every parameter
+    array; processes forked *after* construction inherit the mapping,
+    so a parent-side :meth:`write` is immediately visible to every
+    worker — no pickling, no named segments, no cleanup protocol.
+    """
+
+    def __init__(self, arrays: list[np.ndarray]):
+        offsets = []
+        cursor = 8  # the int64 generation counter leads the block
+        for array in arrays:
+            offsets.append(cursor)
+            cursor += array.nbytes
+        self._mmap = mmap.mmap(-1, max(cursor, 8))
+        self._generation = np.frombuffer(self._mmap, dtype=np.int64,
+                                         count=1, offset=0)
+        self.views = [
+            np.frombuffer(self._mmap, dtype=array.dtype,
+                          count=array.size,
+                          offset=offset).reshape(array.shape)
+            for array, offset in zip(arrays, offsets)]
+        #: Generation at the owning pool's last fork: workers inherit
+        #: this plain attribute through copy-on-write and use it as
+        #: their starting point for staleness checks.
+        self.forked_generation = 0
+        self.write(arrays)
+
+    @property
+    def generation(self) -> int:
+        return int(self._generation[0])
+
+    def write(self, arrays: list[np.ndarray]) -> None:
+        """Copy fresh parameter values in and bump the generation."""
+        for view, array in zip(self.views, arrays):
+            view[:] = array
+        self._generation[0] += 1
+
+    def matches(self, arrays: list[np.ndarray]) -> bool:
+        """Whether ``arrays`` fit this block slot-for-slot."""
+        return (len(arrays) == len(self.views)
+                and all(view.shape == array.shape
+                        and view.dtype == array.dtype
+                        for view, array in zip(self.views, arrays)))
 
 
 def _fork_available() -> bool:
@@ -67,7 +126,45 @@ def _release(token: int | None, executor: ProcessPoolExecutor) -> None:
     """Finalizer target: must not reference the pool object itself."""
     if token is not None:
         _FORK_MODELS.pop(token, None)
+        for key in [key for key in _GRAD_BLOCKS if key[0] == token]:
+            _GRAD_BLOCKS.pop(key, None)
     executor.shutdown(wait=False)
+
+
+def _model_parameters(model) -> list:
+    """Every parameter Tensor of a Costream model, in a fixed order."""
+    return [param
+            for ensemble in model.ensembles.values()
+            for member in ensemble.members
+            for param in member.network.parameters()]
+
+
+def _sync_worker_model(token: int) -> object:
+    """Worker-side staleness sync; returns the cached batcher.
+
+    The worker's model is a fork-time copy-on-write snapshot; when the
+    parent has since written newer weights into the shared block, the
+    worker copies them into its parameter arrays *in place* and drops
+    the ensembles' member-stack caches (in-place writes are invisible
+    to the identity-based staleness sweep, so the invalidation is
+    explicit here).  Decisions after a sync are exactly what a fresh
+    fork would produce.
+    """
+    model, objective, block = _FORK_MODELS[token]
+    batcher = _WORKER_BATCHERS.get(token)
+    if batcher is None:
+        from .batcher import DecisionBatcher
+
+        batcher = DecisionBatcher(model, objective)
+        _WORKER_BATCHERS[token] = batcher
+        _WORKER_GENERATIONS[token] = block.forked_generation
+    if _WORKER_GENERATIONS[token] != block.generation:
+        for param, view in zip(_model_parameters(model), block.views):
+            param.data[:] = view
+        for ensemble in model.ensembles.values():
+            ensemble.invalidate_stacks()
+        _WORKER_GENERATIONS[token] = block.generation
+    return batcher
 
 
 def _wave_shard(token: int, requests: list, dtype_str: str) -> list:
@@ -79,13 +176,7 @@ def _wave_shard(token: int, requests: list, dtype_str: str) -> list:
     was active at fork time and pooled waves would diverge from the
     serial path.
     """
-    batcher = _WORKER_BATCHERS.get(token)
-    if batcher is None:
-        from .batcher import DecisionBatcher
-
-        model, objective = _FORK_MODELS[token]
-        batcher = DecisionBatcher(model, objective)
-        _WORKER_BATCHERS[token] = batcher
+    batcher = _sync_worker_model(token)
     previous = autodiff._INFERENCE_DTYPE[0]
     autodiff._INFERENCE_DTYPE[0] = np.dtype(dtype_str)
     try:
@@ -99,11 +190,18 @@ def _network_spec(network: "CostreamGNN") -> tuple:
             network.traditional_rounds)
 
 
-def _grad_shard(spec: tuple, state: dict, batch: "GraphBatch",
+def _grad_shard(token: int, spec: tuple, batch: "GraphBatch",
                 labels: np.ndarray, loss_kind: str
                 ) -> tuple[float, list[np.ndarray], int]:
-    """Worker entry point: one shard's (loss, parameter grads, size)."""
-    network = _WORKER_NETWORKS.get(spec)
+    """Worker entry point: one shard's (loss, parameter grads, size).
+
+    The worker's network skeleton is built once per (pool, spec) and
+    its parameters alias the shared block's views directly — every
+    task reads the weights the parent wrote immediately before
+    submitting, with zero per-task weight traffic.
+    """
+    key = (token, spec)
+    network = _WORKER_NETWORKS.get(key)
     if network is None:
         from ..core.features import Featurizer
         from ..core.model import CostreamGNN
@@ -111,8 +209,10 @@ def _grad_shard(spec: tuple, state: dict, batch: "GraphBatch",
         mode, hidden_dim, scheme, rounds = spec
         network = CostreamGNN(Featurizer(mode), hidden_dim=hidden_dim,
                               scheme=scheme, traditional_rounds=rounds)
-        _WORKER_NETWORKS[spec] = network
-    network.load_state_dict(state)
+        block = _GRAD_BLOCKS[key]
+        for param, view in zip(network.parameters(), block.views):
+            param.data = view
+        _WORKER_NETWORKS[key] = network
     network.zero_grad()
     loss = network.loss_and_grad(batch, labels, loss_kind)
     return (loss, [param.grad for param in network.parameters()],
@@ -136,8 +236,14 @@ class WorkerPool:
                        else bool(serial))
         self._executor: ProcessPoolExecutor | None = None
         self._token: int | None = None
+        self._wave_entry: tuple | None = None  # pending (model, objective)
         self._wave_key: tuple | None = None
         self._wave_params: list[np.ndarray] | None = None
+        self._wave_block: _SharedBlock | None = None
+        #: Per-spec shared blocks for gradient sharding; survive worker
+        #: restarts (the block is re-registered at the next fork).
+        self._grad_blocks: dict[tuple, _SharedBlock] = {}
+        self._forked_grad_specs: set[tuple] = set()
         # Safety net for pools dropped without close(): releases the
         # fork registration (which pins the model) and shuts the
         # workers down when the pool object is garbage collected.
@@ -149,14 +255,17 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down and drop the fork registration."""
+        """Shut the workers down and drop the fork registrations."""
         if self._finalizer is not None:
             self._finalizer()  # idempotent; runs _release once
             self._finalizer = None
         self._executor = None
         self._token = None
+        self._wave_entry = None
         self._wave_key = None
         self._wave_params = None
+        self._wave_block = None
+        self._forked_grad_specs = set()
 
     def restart(self) -> None:
         """Refork the workers (e.g. after in-place weight writes)."""
@@ -197,33 +306,38 @@ class WorkerPool:
         return decisions
 
     def _model_params(self, model) -> list[np.ndarray]:
-        return [param.data
-                for ensemble in model.ensembles.values()
-                for member in ensemble.members
-                for param in member.network.parameters()]
+        return [param.data for param in _model_parameters(model)]
 
     def _ensure_wave_workers(self, batcher: "DecisionBatcher") -> None:
-        """(Re)fork workers so they hold the batcher's current weights.
+        """Make the workers hold the batcher's current weights.
 
-        Staleness follows ``MetricEnsemble.member_stack``: strong
-        references + identity sweep over the parameter arrays, so any
-        ``fit`` / ``load_state_dict`` since the last fork is caught.
+        Staleness detection follows ``MetricEnsemble.member_stack``
+        (strong references + identity sweep over the parameter
+        arrays), but the *refresh* is in place: replaced parameter
+        arrays of the same model are written into the shared block
+        (one memcpy + a generation bump the workers observe) instead
+        of reforking the pool.  Only a different model/objective or
+        changed parameter shapes still restart the workers.
         """
         params = self._model_params(batcher.model)
         key = (id(batcher.model), batcher.objective)
-        if self._executor is not None:
-            stale = (key != self._wave_key
-                     or len(params) != len(self._wave_params)
+        if self._executor is not None and key == self._wave_key \
+                and self._wave_block is not None \
+                and self._wave_block.matches(params):
+            stale = (len(params) != len(self._wave_params)
                      or any(a is not b for a, b
                             in zip(params, self._wave_params)))
             if stale:
-                self.close()
-        if self._executor is None:
-            token = next(_TOKENS)
-            _FORK_MODELS[token] = (batcher.model, batcher.objective)
-            self._start_executor(token)
-            self._wave_key = key
-            self._wave_params = params
+                self._wave_block.write(params)
+                self._wave_params = params
+            return
+        if self._executor is not None:
+            self.close()
+        self._wave_entry = (batcher.model, batcher.objective)
+        self._wave_key = key
+        self._wave_params = params
+        self._wave_block = _SharedBlock(params)
+        self._start_executor()
 
     # ------------------------------------------------------------------
     # Training gradient shards
@@ -234,10 +348,12 @@ class WorkerPool:
                         ) -> list[tuple[float, list[np.ndarray], int]]:
         """Per-shard (loss, grads, n_graphs), in shard order.
 
-        The pooled path ships the current ``state_dict`` with every
-        task (weights change each optimizer step); the serial fallback
-        replays the identical per-shard computation in-process, so both
-        backends return bitwise-equal shard results.
+        The pooled path writes the current weights into the network's
+        shared parameter block (workers alias it — nothing but batch
+        data crosses the process boundary per step); the serial
+        fallback replays the identical per-shard computation
+        in-process, so both backends return bitwise-equal shard
+        results.
         """
         if self.serial or self.processes == 1 or len(pairs) == 1:
             results = []
@@ -253,20 +369,43 @@ class WorkerPool:
             for param, grad in zip(network.parameters(), saved):
                 param.grad = grad
             return results
-        self._ensure_executor()
         spec = _network_spec(network)
-        state = network.state_dict()
-        futures = [self._executor.submit(_grad_shard, spec, state, batch,
-                                         labels, loss_kind)
+        params = [param.data for param in network.parameters()]
+        block = self._grad_blocks.get(spec)
+        if block is not None and not block.matches(params):
+            # Workers forked with the old block would keep aliasing its
+            # (now dead) views; dropping the spec forces the restart
+            # below so they re-attach to the replacement.
+            block = None
+            self._forked_grad_specs.discard(spec)
+        if block is None:
+            block = _SharedBlock(params)
+            self._grad_blocks[spec] = block
+        if self._executor is not None \
+                and spec not in self._forked_grad_specs:
+            # The workers predate this network's block; restart them so
+            # they inherit its mapping.
+            self.close()
+        if self._executor is None:
+            self._start_executor()
+        block.write(params)
+        futures = [self._executor.submit(_grad_shard, self._token, spec,
+                                         batch, labels, loss_kind)
                    for batch, labels in pairs]
         return [future.result() for future in futures]
 
-    def _ensure_executor(self) -> None:
-        if self._executor is None:
-            self._start_executor(token=None)
-
-    def _start_executor(self, token: int | None) -> None:
+    def _start_executor(self) -> None:
+        """Fork the workers, registering everything they must inherit."""
+        token = next(_TOKENS)
         self._token = token
+        if self._wave_entry is not None:
+            model, objective = self._wave_entry
+            self._wave_block.forked_generation = \
+                self._wave_block.generation
+            _FORK_MODELS[token] = (model, objective, self._wave_block)
+        for spec, block in self._grad_blocks.items():
+            _GRAD_BLOCKS[(token, spec)] = block
+        self._forked_grad_specs = set(self._grad_blocks)
         self._executor = ProcessPoolExecutor(
             max_workers=self.processes,
             mp_context=mp.get_context("fork"))

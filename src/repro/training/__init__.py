@@ -1,0 +1,24 @@
+"""The stacked-ensemble training engine (see PERFORMANCE.md).
+
+Trains all K members of a metric ensemble in ONE batched-GEMM
+forward/backward per mini-batch:
+
+* :class:`TrainingCorpus` — featurizes a trace corpus once and serves
+  cached metric views to every ensemble (``Costream.fit`` and
+  ``fine_tune`` both route through it);
+* :class:`BatchSchedule` — one deterministic split/shuffle/collation
+  source shared by all members, making stacked and sequential training
+  bitwise comparable;
+* :class:`StackedTrainer` — the K-member lock-step trainer over
+  :class:`~repro.core.model.TrainableMemberStack` weight stacks,
+  bitwise identical per member to :func:`fit_members_sequential` (the
+  retained ``CostModel.fit`` reference loop) under a shared schedule.
+
+Opt in with ``TrainingConfig(member_training="stacked")``.
+"""
+
+from .corpus import BatchSchedule, TrainingCorpus
+from .stacked import StackedTrainer, fit_members_sequential
+
+__all__ = ["BatchSchedule", "TrainingCorpus", "StackedTrainer",
+           "fit_members_sequential"]

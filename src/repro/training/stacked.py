@@ -1,0 +1,177 @@
+"""K-member stacked ensemble training (one batched step per mini-batch).
+
+``MetricEnsemble.fit`` used to train its K members one at a time:
+K full ``CostModel.fit`` runs, each paying the per-stage Python
+dispatch and small-GEMM cost of the manual training step, each
+re-collating the same mini-batches.  :class:`StackedTrainer` trains
+all members at once: member weights fold into
+:class:`~repro.core.model.TrainableMemberStack` 3-D stacks, every
+mini-batch runs ONE stacked forward/backward
+(:meth:`~repro.core.model.TrainableMemberStack.loss_and_grad`),
+gradients clip per member (:func:`repro.nn.stacked_clip_grad_norm`)
+and one :class:`repro.nn.StackedAdam` steps every member's slice.
+
+**Equivalence contract.**  Under a shared
+:class:`~repro.training.BatchSchedule` the stacked run is bitwise
+identical to the retained sequential reference —
+:func:`fit_members_sequential`, which is nothing but the
+``CostModel.fit`` loop driven by the same schedule: per-member loss
+trajectories (train and validation), early-stopping epochs, and final
+parameters all match field for field, the way
+``collate_candidates_reference`` anchors the index-native collation.
+Per-member state is preserved end to end: each member keeps its own
+seed-derived initialization, its own best-state snapshot and patience
+counter; a member whose patience runs out stops recording history at
+exactly the epoch the sequential loop would have stopped training it
+(its slice keeps stepping — harmless, since its final weights come
+from its best-state snapshot).
+
+What a shared schedule changes: the members draw one split and one
+per-epoch shuffle sequence from the *ensemble* seed instead of K
+member-seed streams.  That is a different (equally valid) training
+run than the historical per-member default, so stacked training is
+opt-in: ``TrainingConfig(member_training="stacked")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import TrainableMemberStack
+from ..core.training import (CostModel, TrainingHistory,
+                             _oversampled_pool, holdout_size,
+                             resolve_loss_kind)
+from ..nn.optim import StackedAdam, stacked_clip_grad_norm
+from .corpus import BatchSchedule
+
+__all__ = ["StackedTrainer", "fit_members_sequential"]
+
+
+def fit_members_sequential(members: list[CostModel],
+                           graphs, labels: np.ndarray,
+                           val_graphs=None, val_labels=None,
+                           epochs: int | None = None,
+                           schedule: BatchSchedule | None = None
+                           ) -> list[TrainingHistory]:
+    """The sequential reference: ``CostModel.fit`` per member, one
+    shared schedule.
+
+    This is the executable specification the stacked trainer is tested
+    against — the per-member training loop is kept fully reachable
+    (it IS ``CostModel.fit``), only the RNG-derived schedule is shared
+    so the two paths are comparable.
+    """
+    schedule = schedule or BatchSchedule(members[0].seed)
+    return [member.fit(graphs, labels, val_graphs, val_labels,
+                       epochs=epochs, schedule=schedule)
+            for member in members]
+
+
+class StackedTrainer:
+    """Trains every member of one metric ensemble in lock-step."""
+
+    def __init__(self, members: list[CostModel]):
+        if not members:
+            raise ValueError("cannot train an empty member list")
+        self.members = members
+        self.config = members[0].config
+
+    def supported(self) -> bool:
+        """Whether the stacked step covers this configuration (the
+        same envelope as the manual per-member step)."""
+        return all(member.network.supports_manual_step()
+                   for member in self.members)
+
+    # ------------------------------------------------------------------
+    def fit(self, graphs, labels: np.ndarray,
+            val_graphs=None, val_labels=None,
+            epochs: int | None = None,
+            schedule: BatchSchedule | None = None
+            ) -> list[TrainingHistory]:
+        """Train all members; mirrors ``CostModel.fit`` line for line.
+
+        Every RNG draw, split, oversampled pool, collation, loss,
+        gradient, clip and optimizer update replays the sequential
+        reference's exact kernels per member — only batched across the
+        member axis.  Histories append to each member's
+        ``CostModel.history`` exactly as ``fit`` would.
+        """
+        members = self.members
+        config = self.config
+        size = len(members)
+        if not self.supported():
+            raise ValueError(
+                "stacked training requires the staged scheme without "
+                "dropout or legacy kernels")
+        labels = np.asarray(labels, dtype=np.float64)
+        schedule = schedule or BatchSchedule(members[0].seed)
+        if val_graphs is None:
+            n_val = holdout_size(len(graphs), config.val_fraction)
+            order = schedule.split_order(len(graphs))
+            val_rows, train_rows = order[:n_val], order[n_val:]
+            val_graphs = [graphs[i] for i in val_rows]
+            val_labels = labels[val_rows]
+            graphs = [graphs[i] for i in train_rows]
+            labels = labels[train_rows]
+        else:
+            val_labels = np.asarray(val_labels, dtype=np.float64)
+
+        stack = TrainableMemberStack([m.network for m in members])
+        params = stack.parameters()
+        optimizer = StackedAdam(params, size,
+                                lr=config.learning_rate,
+                                weight_decay=config.weight_decay)
+        best_val = np.full(size, np.inf)
+        best_state = [stack.member_state(k) for k in range(size)]
+        epochs_since_best = [0] * size
+        active = [True] * size
+        budget = epochs if epochs is not None else config.epochs
+
+        sample_pool = np.arange(len(graphs))
+        if not members[0].is_regression and config.balance_classes:
+            sample_pool = _oversampled_pool(labels)
+
+        val_pairs = schedule.val_pairs(val_graphs, val_labels,
+                                       config.batch_size)
+        loss_kind = resolve_loss_kind(config, members[0].is_regression)
+        histories = [member.history for member in members]
+
+        for epoch in range(budget):
+            if not any(active):
+                break
+            optimizer.lr = config.learning_rate * (
+                config.lr_decay ** (epoch // config.lr_decay_every))
+            order = schedule.epoch_order(epoch, sample_pool)
+            epoch_loss = np.zeros(size)
+            n_batches = 0
+            for start in range(0, len(order), config.batch_size):
+                rows = order[start:start + config.batch_size]
+                batch = schedule.train_batch(graphs, rows)
+                optimizer.zero_grad()
+                losses = stack.loss_and_grad(batch, labels[rows],
+                                             loss_kind)
+                stacked_clip_grad_norm(params, config.grad_clip, size)
+                optimizer.step()
+                epoch_loss += losses
+                n_batches += 1
+            mean_loss = epoch_loss / max(n_batches, 1)
+            val_losses = stack.loss_over_batches(val_pairs, loss_kind)
+            for k in range(size):
+                if not active[k]:
+                    continue
+                histories[k].train_loss.append(float(mean_loss[k]))
+                histories[k].val_loss.append(float(val_losses[k]))
+                if val_losses[k] < best_val[k] - 1e-6:
+                    best_val[k] = val_losses[k]
+                    best_state[k] = stack.member_state(k)
+                    histories[k].best_epoch = epoch
+                    epochs_since_best[k] = 0
+                else:
+                    epochs_since_best[k] += 1
+                    if epochs_since_best[k] >= config.patience:
+                        active[k] = False
+
+        for k, member in enumerate(members):
+            member.network.load_state_dict(best_state[k])
+            member.network.eval()
+        return histories

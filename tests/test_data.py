@@ -87,3 +87,96 @@ class TestCorpusSerialization:
         with path.open("a") as handle:
             handle.write("\n\n")
         assert len(load_corpus(path)) == 2
+
+
+class TestCorpusRoundTripProperty:
+    """ISSUE-5: a randomized round-trip property over generated traces.
+
+    The new training path feeds entire corpora through one
+    featurization pass, so a silent serialization drift (a dropped
+    window field, a re-typed literal, a reordered schema) would poison
+    every downstream model.  This pins ``save_corpus``/``load_corpus``
+    field-for-field on randomized plans (every operator kind the
+    generator emits: windows, aggregates, joins, filters), randomized
+    clusters and placements, and randomized metric/selectivity values
+    across several seeds.
+    """
+
+    def _random_corpus(self, seed, size=12):
+        import numpy as np
+
+        from repro.data.collection import QueryTrace
+        from repro.hardware import Placement
+        from repro.hardware.cluster import sample_cluster
+        from repro.query.generator import QueryGenerator
+        from repro.simulator.result import QueryMetrics
+
+        rng = np.random.default_rng(seed)
+        generator = QueryGenerator(seed=rng)
+        traces = []
+        for _ in range(size):
+            plan = generator.generate()
+            cluster = sample_cluster(rng, int(rng.integers(2, 7)))
+            nodes = cluster.node_ids
+            placement = Placement(
+                {op: nodes[int(rng.integers(len(nodes)))]
+                 for op in plan.topological_order()})
+            metrics = QueryMetrics(
+                throughput=float(rng.uniform(0, 1e5)),
+                e2e_latency_ms=float(rng.uniform(0, 1e4)),
+                processing_latency_ms=float(rng.uniform(0, 1e3)),
+                backpressure=bool(rng.integers(2)),
+                success=bool(rng.integers(2)))
+            selectivities = {
+                op_id: float(rng.uniform(0, 1))
+                for op_id in plan.operators
+                if rng.random() < 0.7}
+            traces.append(QueryTrace(plan=plan, placement=placement,
+                                     cluster=cluster, metrics=metrics,
+                                     selectivities=selectivities))
+        return traces
+
+    def test_randomized_file_round_trip(self, tmp_path):
+        for seed in (0, 1, 2, 3):
+            traces = self._random_corpus(seed)
+            path = tmp_path / f"random_{seed}.jsonl"
+            save_corpus(traces, path)
+            restored = load_corpus(path)
+            assert len(restored) == len(traces)
+            for original, loaded in zip(traces, restored):
+                # Field-for-field: the dict form is the serialization
+                # contract, so dict equality covers every field of
+                # every operator/window/node/metric.
+                assert trace_to_dict(loaded) == trace_to_dict(original)
+                assert loaded.metrics == original.metrics
+                for op_id, operator in original.plan.operators.items():
+                    assert loaded.plan.operator(op_id) == operator
+
+    def test_round_trip_is_idempotent(self, tmp_path):
+        """save(load(save(x))) == save(x), byte for byte."""
+        traces = self._random_corpus(9)
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        save_corpus(traces, first)
+        save_corpus(load_corpus(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_round_tripped_corpus_trains_identically(self, tmp_path):
+        """The training-path property: graphs built from a reloaded
+        corpus collate bitwise identically to the originals."""
+        import numpy as np
+
+        from repro.core.dataset import GraphDataset
+        from repro.core.graph import batches_equal, collate
+
+        traces = self._random_corpus(4, size=8)
+        path = tmp_path / "train.jsonl"
+        save_corpus(traces, path)
+        reloaded = load_corpus(path)
+        original = GraphDataset.from_traces(traces)
+        restored = GraphDataset.from_traces(reloaded)
+        assert batches_equal(collate(original.graphs),
+                             collate(restored.graphs))
+        for metric, labels in original.labels.items():
+            np.testing.assert_array_equal(labels,
+                                          restored.labels[metric])

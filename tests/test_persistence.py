@@ -65,3 +65,64 @@ class TestRoundTrip:
             np.savez(handle, **arrays)
         with pytest.raises(ValueError):
             load_costream(tmp_path / "bad.npz")
+
+
+class TestStackedTrainingRoundTrip:
+    """ISSUE-5: persistence after *stacked* ensemble training."""
+
+    @pytest.fixture(scope="class")
+    def stacked_trained(self, tiny_corpus):
+        config = TrainingConfig(hidden_dim=12, epochs=3, patience=3,
+                                member_training="stacked")
+        model = Costream(metrics=("throughput", "backpressure"),
+                         ensemble_size=2, config=config, seed=5)
+        return model.fit(tiny_corpus[:100])
+
+    def test_predictions_bitwise_equal(self, stacked_trained,
+                                       tiny_corpus, tmp_path):
+        path = tmp_path / "stacked.npz"
+        save_costream(stacked_trained, path)
+        loaded = load_costream(path)
+        dataset = GraphDataset.from_traces(tiny_corpus[:15],
+                                           stacked_trained.featurizer)
+        for metric in ("throughput", "backpressure"):
+            np.testing.assert_array_equal(
+                stacked_trained.predict_metric(metric, dataset.graphs),
+                loaded.predict_metric(metric, dataset.graphs))
+
+    def test_member_stacks_rebuilt_after_load(self, stacked_trained,
+                                              tiny_corpus, tmp_path):
+        """Inference stacks must invalidate/rebuild across the round
+        trip: stack predictions equal the per-member reference on the
+        loaded model, and re-loading into a warm ensemble is caught by
+        the identity-based staleness sweep."""
+        path = tmp_path / "stacked.npz"
+        save_costream(stacked_trained, path)
+        loaded = load_costream(path)
+        dataset = GraphDataset.from_traces(tiny_corpus[:10],
+                                           stacked_trained.featurizer)
+        ensemble = loaded.ensembles["throughput"]
+        np.testing.assert_array_equal(
+            ensemble._member_predictions(dataset.graphs),
+            ensemble._member_predictions_reference(dataset.graphs))
+        # Warm the stack, then replace weights via load_state_dict —
+        # the next prediction must serve the fresh weights.
+        warm = ensemble._member_predictions(dataset.graphs)
+        for member, trained_member in zip(
+                ensemble.members,
+                stacked_trained.ensembles["throughput"].members):
+            state = trained_member.network.state_dict()
+            member.network.load_state_dict(
+                {key: value + 0.1 for key, value in state.items()})
+        shifted = ensemble._member_predictions(dataset.graphs)
+        assert not np.array_equal(warm, shifted)
+        np.testing.assert_array_equal(
+            shifted,
+            ensemble._member_predictions_reference(dataset.graphs))
+
+    def test_member_training_mode_persisted(self, stacked_trained,
+                                            tmp_path):
+        path = tmp_path / "stacked.npz"
+        save_costream(stacked_trained, path)
+        loaded = load_costream(path)
+        assert loaded.config.member_training == "stacked"

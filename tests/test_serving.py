@@ -340,9 +340,9 @@ class TestWorkerPool:
     @pytest.mark.skipif(not _fork_available(),
                         reason="fork start method unavailable")
     def test_pool_reforks_after_weight_replacement(self):
-        """Fork snapshots follow the MemberStack staleness rules: any
-        parameter-array replacement since the last fork triggers a
-        worker restart, so pooled decisions never serve stale weights."""
+        """Staleness follows the MemberStack rules: any parameter-array
+        replacement since the last fork is detected, so pooled
+        decisions never serve stale weights."""
         model = _model()
         requests = _requests(4, seed=31)
         with WorkerPool(processes=2) as pool:
@@ -356,6 +356,54 @@ class TestWorkerPool:
                     member.network.load_state_dict(shifted)
             fresh = DecisionBatcher(model).decide(requests)
             _assert_decisions_equal(batcher.decide(requests), fresh)
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_staleness_refresh_is_in_place(self):
+        """ISSUE-5: a weight replacement on the SAME model refreshes
+        the workers through the shared-memory parameter block instead
+        of reforking — the executor object survives, and repeated
+        refreshes keep serving fresh weights."""
+        model = _model()
+        requests = _requests(4, seed=41)
+        with WorkerPool(processes=2) as pool:
+            batcher = DecisionBatcher(model, pool=pool)
+            batcher.decide(requests)
+            executor = pool._executor
+            assert executor is not None
+            for shift in (0.03, -0.02):
+                for ensemble in model.ensembles.values():
+                    for member in ensemble.members:
+                        state = member.network.state_dict()
+                        member.network.load_state_dict(
+                            {key: value + shift
+                             for key, value in state.items()})
+                fresh = DecisionBatcher(model).decide(requests)
+                _assert_decisions_equal(batcher.decide(requests), fresh)
+                assert pool._executor is executor, \
+                    "refresh should not refork the workers"
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_different_model_still_reforks(self):
+        """Shared-memory refresh only covers the registered model: a
+        different model (or objective) restarts the workers."""
+        model = _model()
+        other = _model()
+        for ensemble in other.ensembles.values():
+            for member in ensemble.members:
+                state = member.network.state_dict()
+                member.network.load_state_dict(
+                    {key: value + 0.2 for key, value in state.items()})
+        requests = _requests(3, seed=43)
+        with WorkerPool(processes=2) as pool:
+            DecisionBatcher(model, pool=pool).decide(requests)
+            executor = pool._executor
+            other_batcher = DecisionBatcher(other, pool=pool)
+            pooled = other_batcher.decide(requests)
+            assert pool._executor is not executor
+            _assert_decisions_equal(
+                pooled, DecisionBatcher(other).decide(requests))
 
     def test_shard_indices_cover_everything(self):
         pool = WorkerPool(processes=3, serial=True)
