@@ -75,12 +75,25 @@ def main(argv: list[str] | None = None) -> int:
     pool_note = ""
     if "pool" in throughput:
         pool = throughput["pool"]
+        health = pool.get("health", {})
         pool_note = (f", pool[{pool['processes']}] "
-                     f"{pool['decisions_per_s_pooled']:,.0f}/s")
+                     f"{pool['decisions_per_s_pooled']:,.0f}/s "
+                     f"(degraded waves: "
+                     f"{health.get('degraded_waves', 0)}, restarts: "
+                     f"{health.get('restarts', 0)})")
     print(f"throughput:{throughput['speedup']:6.2f}x wave vs sequential "
           f"({throughput['decisions_per_s_batched']:,.0f} decisions/s, "
           f"wave of {throughput['n_requests']}, "
           f"f32 {throughput['float32_speedup']:.2f}x{pool_note})")
+    if "service" in throughput:
+        service = throughput["service"]
+        stats = service["stats"]
+        print(f"serving:   {service['decisions_per_s_service']:,.0f} "
+              f"decisions/s through the deadline-aware loop "
+              f"(max wave {service['max_wave']}, waves "
+              f"{stats['waves']}, rejected {stats['rejected']}, "
+              f"failed {stats['failed']}, matches direct dispatch: "
+              f"{service['decisions_match']})")
     print(f"ensemble:  {ensemble['speedup']:6.1f}x batched-GEMM "
           f"(K={ensemble['ensemble_size']}, "
           f"float32 {ensemble['float32_speedup']:.1f}x, "
@@ -91,8 +104,11 @@ def main(argv: list[str] | None = None) -> int:
     train = results["ensemble_train"]
     train_pool = ""
     if "pool" in train:
+        train_health = train["pool"].get("health", {})
         train_pool = (f", pooled fit == single-process: "
-                      f"{train['pool']['matches_single_process']}")
+                      f"{train['pool']['matches_single_process']} "
+                      f"(degraded grad steps: "
+                      f"{train_health.get('degraded_grad_steps', 0)})")
     print(f"ens-train: {train['speedup']:6.2f}x stacked K="
           f"{train['ensemble_size']} "
           f"({1e3 * train['stacked_s_per_epoch']:.0f} ms/epoch, "

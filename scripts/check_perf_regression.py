@@ -37,7 +37,12 @@ baseline and **fails (exit 1)** when
   single-process shard math,
 * the fast path stops being numerically equivalent to the slow-path
   replicas (``max_abs_delta`` > ``--tolerance``, decisions disagree, or
-  the recorded equivalence verdict is False), or
+  the recorded equivalence verdict is False),
+* a recorded worker-pool health block shows the no-fault run took a
+  recovery path (any retry, restart, crash, timeout, corrupt shard, or
+  degraded fallback — the hardening must be free on the happy path),
+  or the deadline-aware serving loop's decisions stop matching the
+  direct wave dispatch / it rejected or failed a request, or
 * float32 inference drifts beyond the tolerance recorded in the
   benchmark itself (``float32_tolerance`` of ``ensemble_batched`` /
   ``decision_throughput``), or a float32 wave flips a decision.
@@ -57,6 +62,25 @@ from pathlib import Path
 
 def _speedup(results: dict, section: str) -> float:
     return float(results.get(section, {}).get("speedup", 0.0))
+
+
+# A no-fault benchmark run must never exercise the recovery machinery;
+# any non-zero counter here means the pool misclassified healthy work.
+_HEALTH_MUST_BE_ZERO = ("retries", "crashes", "timeouts",
+                        "corrupt_shards", "restarts", "degraded_shards",
+                        "degraded_waves", "degraded_grad_steps",
+                        "reports")
+
+
+def _check_health(health: dict, where: str, failures: list[str]) -> None:
+    dirty = {key: health.get(key, 0) for key in _HEALTH_MUST_BE_ZERO
+             if health.get(key, 0)}
+    print(f"  {where + ' health':<20} "
+          f"{'all zero ok' if not dirty else f'{dirty} FAIL'}")
+    if dirty:
+        failures.append(
+            f"{where} health counters non-zero on a no-fault run: "
+            f"{dirty}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,10 +220,13 @@ def main(argv: list[str] | None = None) -> int:
             failures.append("stacked training final parameters diverge "
                             "from the sequential member loop")
         train_pool = train.get("pool")
-        if train_pool is not None \
-                and not train_pool.get("matches_single_process", False):
-            failures.append("pool-sharded fit diverges from the "
-                            "single-process shard math")
+        if train_pool is not None:
+            if not train_pool.get("matches_single_process", False):
+                failures.append("pool-sharded fit diverges from the "
+                                "single-process shard math")
+            if "health" in train_pool:
+                _check_health(train_pool["health"], "train pool",
+                              failures)
 
     throughput = fresh.get("decision_throughput", {})
     if not throughput:
@@ -228,10 +255,29 @@ def main(argv: list[str] | None = None) -> int:
         if not throughput.get("float32_decisions_agree", False):
             failures.append("float32 wave flipped a chosen placement")
         pool = throughput.get("pool")
-        if pool is not None and not pool.get("matches_single_process",
-                                             False):
-            failures.append("pool-backed wave decisions diverge from "
-                            "the single-process wave")
+        if pool is not None:
+            if not pool.get("matches_single_process", False):
+                failures.append("pool-backed wave decisions diverge "
+                                "from the single-process wave")
+            if "health" in pool:
+                _check_health(pool["health"], "wave pool", failures)
+
+    service = throughput.get("service")
+    if service is not None:
+        stats = service.get("stats", {})
+        match = service.get("decisions_match", False)
+        dropped = int(stats.get("rejected", 0)) + int(
+            stats.get("failed", 0))
+        print(f"  serving loop         decisions_match={match}, "
+              f"rejected+failed={dropped} "
+              f"{'ok' if match and dropped == 0 else 'FAIL'}")
+        if not match:
+            failures.append("serving-loop decisions diverge from the "
+                            "direct wave dispatch")
+        if dropped:
+            failures.append(
+                f"serving loop rejected/failed {dropped} requests on "
+                f"an uncontended run")
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)

@@ -9,7 +9,10 @@ stopping on a validation split.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +25,13 @@ from .model import CostreamGNN
 
 __all__ = ["TrainingConfig", "CostModel", "TrainingHistory",
            "paired_batches", "holdout_size", "resolve_loss_kind"]
+
+
+def _jsonable(value):
+    """Normalize through JSON so in-memory fingerprints compare equal
+    to checkpoint headers read back from disk (tuples become lists,
+    dict keys become strings)."""
+    return json.loads(json.dumps(value))
 
 
 def _oversampled_pool(labels: np.ndarray) -> np.ndarray:
@@ -148,7 +158,9 @@ class CostModel:
             val_graphs: list[QueryGraph] | None = None,
             val_labels: np.ndarray | None = None,
             epochs: int | None = None, pool=None,
-            schedule=None) -> TrainingHistory:
+            schedule=None, checkpoint_path=None,
+            checkpoint_every: int = 1, resume: bool = False,
+            on_epoch_end=None) -> TrainingHistory:
         """Train until convergence or the epoch budget is exhausted.
 
         ``pool`` (a :class:`repro.serving.WorkerPool`) opts in to
@@ -166,6 +178,21 @@ class CostModel:
         under one schedule is the sequential reference the stacked
         trainer (:class:`repro.training.StackedTrainer`) is bitwise
         identical to.
+
+        ``checkpoint_path`` enables epoch-granular crash recovery
+        (PERFORMANCE.md §13): every ``checkpoint_every`` epochs the
+        complete training state — weights, best-state snapshot, Adam
+        moments, early-stopping counters, histories, and the RNG state
+        — is written atomically.  A run killed at ANY point and
+        re-invoked with ``resume=True`` (same data, same arguments)
+        continues from the last checkpoint and finishes **bitwise
+        identical** to the uninterrupted run: same loss trajectories,
+        same early-stopping epoch, same final parameters.  A kill
+        mid-epoch replays that epoch from its start (the restored RNG
+        / schedule state regenerates the identical mini-batch order).
+        ``on_epoch_end(epoch)`` is called after each epoch's
+        checkpoint; exceptions propagate (tests use it to simulate
+        kills at exact epoch boundaries).
         """
         labels = np.asarray(labels, dtype=np.float64)
         rng = (np.random.default_rng(self.seed) if schedule is None
@@ -216,8 +243,92 @@ class CostModel:
             # Imported here: repro.serving builds on repro.core.
             from ..serving.pool import sharded_loss_and_grad
 
+        checkpointing = checkpoint_path is not None
+        if checkpointing:
+            # Imported here: persistence builds on repro.core modules.
+            from .persistence import load_checkpoint, save_checkpoint
+
+            # A checkpoint is only resumable into the identical run;
+            # the fingerprint pins everything that shapes the
+            # trajectory so a mismatched resume fails loudly instead
+            # of silently diverging.
+            fingerprint = _jsonable({
+                "kind": "costmodel_fit",
+                "metric": self.metric,
+                "seed": self.seed,
+                "n_train": len(graphs),
+                "n_val": len(val_graphs),
+                "budget": budget,
+                "loss_kind": loss_kind,
+                "schedule_seed": getattr(schedule, "seed", None),
+                "config": dataclasses.asdict(self.config),
+            })
+
+            def save_fit_state(next_epoch: int, completed: bool):
+                arrays = {}
+                for key, value in self.network.state_dict().items():
+                    arrays[f"net/{key}"] = value
+                for key, value in best_state.items():
+                    arrays[f"best/{key}"] = value
+                for i, (m, v) in enumerate(zip(optimizer._m,
+                                               optimizer._v)):
+                    arrays[f"adam_m/{i}"] = m
+                    arrays[f"adam_v/{i}"] = v
+                arrays["best_val"] = np.asarray(best_val,
+                                                dtype=np.float64)
+                arrays["hist/train"] = np.asarray(
+                    self.history.train_loss, dtype=np.float64)
+                arrays["hist/val"] = np.asarray(
+                    self.history.val_loss, dtype=np.float64)
+                save_checkpoint(checkpoint_path, {
+                    "kind": "costmodel_fit", "version": 1,
+                    "fingerprint": fingerprint,
+                    "epoch": next_epoch,
+                    "completed": completed,
+                    "epochs_since_best": epochs_since_best,
+                    "best_epoch": self.history.best_epoch,
+                    "adam_step": optimizer._step,
+                    "rng_state": (rng.bit_generator.state
+                                  if rng is not None else None),
+                }, arrays)
+
+        start_epoch = 0
+        if checkpointing and resume and Path(checkpoint_path).exists():
+            header, arrays = load_checkpoint(checkpoint_path)
+            if header.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    "checkpoint does not match this training run "
+                    "(different data, seed, or configuration)")
+            self.network.load_state_dict(
+                {key: arrays[f"net/{key}"]
+                 for key in self.network.state_dict()})
+            best_state = {key.split("/", 1)[1]: arrays[key].copy()
+                          for key in arrays
+                          if key.startswith("best/")}
+            best_val = float(arrays["best_val"])
+            optimizer._step = int(header["adam_step"])
+            for i in range(len(parameters)):
+                optimizer._m[i][:] = arrays[f"adam_m/{i}"]
+                optimizer._v[i][:] = arrays[f"adam_v/{i}"]
+            self.history.train_loss[:] = [
+                float(x) for x in arrays["hist/train"]]
+            self.history.val_loss[:] = [
+                float(x) for x in arrays["hist/val"]]
+            self.history.best_epoch = int(header["best_epoch"])
+            epochs_since_best = int(header["epochs_since_best"])
+            if rng is not None and header["rng_state"] is not None:
+                # The restored stream continues exactly where the
+                # killed run's draws left off — the per-epoch shuffles
+                # from here on match the uninterrupted run's.
+                rng.bit_generator.state = header["rng_state"]
+            start_epoch = int(header["epoch"])
+            if header["completed"]:
+                self.network.load_state_dict(best_state)
+                self.network.eval()
+                return self.history
+
         self.network.train()
-        for epoch in range(budget):
+        for epoch in range(start_epoch, budget):
             optimizer.lr = self.config.learning_rate * (
                 self.config.lr_decay ** (epoch // self.config.lr_decay_every))
             order = (sample_pool[rng.permutation(len(sample_pool))]
@@ -264,6 +375,7 @@ class CostModel:
 
             val_loss = self._loss_over_batches(val_pairs)
             self.history.val_loss.append(val_loss)
+            stop = False
             if val_loss < best_val - 1e-6:
                 best_val = val_loss
                 best_state = self.network.state_dict()
@@ -271,8 +383,16 @@ class CostModel:
                 epochs_since_best = 0
             else:
                 epochs_since_best += 1
-                if epochs_since_best >= self.config.patience:
-                    break
+                stop = epochs_since_best >= self.config.patience
+            if checkpointing and (stop or epoch + 1 == budget
+                                  or (epoch + 1) % checkpoint_every
+                                  == 0):
+                save_fit_state(epoch + 1,
+                               completed=stop or epoch + 1 == budget)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch)
+            if stop:
+                break
         self.network.load_state_dict(best_state)
         self.network.eval()
         return self.history

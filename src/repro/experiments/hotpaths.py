@@ -42,7 +42,8 @@ from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementOptimizer
 from ..query.generator import QueryGenerator
 from ..query.plan import QueryPlan
-from ..serving import DecisionBatcher, DecisionRequest, WorkerPool
+from ..serving import (DecisionBatcher, DecisionRequest, ServingLoop,
+                       WorkerPool)
 from ..training import BatchSchedule, StackedTrainer
 from .scale import ExperimentScale, get_scale
 
@@ -481,7 +482,33 @@ def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
                     p.placement == b.placement
                     and p.predicted_objective == b.predicted_objective
                     for p, b in zip(pooled, batched_decisions))),
+                # The no-fault health counters the CI gate pins to
+                # zero: the hardening must be free on the happy path.
+                "health": pool.health.as_dict(),
             }
+
+    # The deadline-aware front door over the same request stream:
+    # adaptive waves (fill OR deadline) must serve decisions identical
+    # to direct wave dispatch, with zero rejections or failures.
+    max_wave = max(2, n_requests // 2)
+    with ServingLoop(DecisionBatcher(model,
+                                     objective="processing_latency"),
+                     max_wave=max_wave, deadline_s=0.05,
+                     max_queue=4 * n_requests) as loop:
+        served = loop.serve(requests)  # warm-up outside the clock
+        service_s = _best_of(lambda: loop.serve(requests), repeats)
+        service_stats = loop.stats.as_dict()
+    result["service"] = {
+        "max_wave": max_wave,
+        "deadline_s": 0.05,
+        "service_s_per_decision": service_s / n_requests,
+        "decisions_per_s_service": n_requests / max(service_s, 1e-12),
+        "decisions_match": bool(all(
+            s.placement == b.placement
+            and s.predicted_objective == b.predicted_objective
+            for s, b in zip(served, batched_decisions))),
+        "stats": service_stats,
+    }
     return result
 
 
@@ -734,16 +761,20 @@ def _bench_ensemble_train(dataset: GraphDataset, scale: ExperimentScale,
     }
     if pool_size > 0:
         pooled_histories = {}
+        pooled_health = {}
         for label, serial in (("serial", True), ("fork", False)):
             with WorkerPool(processes=pool_size, serial=serial) as pool:
                 model = CostModel("processing_latency", config=config,
                                   seed=0)
                 pooled_histories[label] = list(
                     model.fit(graphs, labels, pool=pool).train_loss)
+                pooled_health[label] = pool.health.as_dict()
         result["pool"] = {
             "processes": pool_size,
             "matches_single_process": bool(
                 pooled_histories["fork"] == pooled_histories["serial"]),
+            # No-fault training must never take the degraded path.
+            "health": pooled_health["fork"],
         }
     return result
 

@@ -27,9 +27,35 @@ Determinism: every request's decision is independent of how a wave is
 sharded (the mega-batch forward is bitwise row-invariant), so pooled
 waves equal single-process waves bitwise.  Gradient shards are
 combined in shard order, making pooled training reproducible for a
-fixed pool size; the serial fallback (``serial=True``, or platforms
-without ``fork``) computes the same shards in-process and is bitwise
-identical to the pooled run — the CI-stable mode.
+fixed pool size; the serial fallback (``serial=True``, the
+``REPRO_SERIAL=1`` environment variable, or platforms without
+``fork``) computes the same shards in-process and is bitwise identical
+to the pooled run — the CI-stable mode.
+
+**Fault tolerance** (PERFORMANCE.md §13).  Worker processes crash,
+hang and return garbage in production; the pool recovers from all
+three without ever changing a result:
+
+* every shard is dispatched with a bounded **retry-and-backoff**
+  budget (``max_retries``), and an optional per-shard ``timeout``
+  turns a hung worker into a retriable failure;
+* a ``BrokenProcessPool`` (worker death) or a shard timeout
+  **restarts the executor automatically** — hung workers are
+  terminated, the fork registrations are preserved, and only the
+  still-missing shards are re-dispatched;
+* shard results are **validated** (shape + finiteness) before they
+  are accepted; a corrupt shard counts as a fault and is retried;
+* a shard that exhausts its budget **degrades** to the in-parent
+  serial path — the wave or gradient step still completes, bitwise
+  identical to the no-fault run (every shard is deterministic), and a
+  :class:`~repro.serving.faults.DegradedModeReport` is recorded in
+  :attr:`WorkerPool.health` instead of an exception escaping.
+
+Recovery is deterministic because every shard's computation is: a
+retried or degraded shard recomputes exactly the same bits.  Chaos
+tests drive the machinery with a seeded
+:class:`~repro.serving.faults.FaultInjector` (``injector=``) so every
+failure sequence is reproducible; see ``tests/test_faults.py``.
 """
 
 from __future__ import annotations
@@ -37,13 +63,20 @@ from __future__ import annotations
 import itertools
 import mmap
 import multiprocessing as mp
+import os
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..nn import autodiff
+from .faults import (CorruptShard, DegradedModeReport, FaultInjector,
+                     PoolHealth, ShardTimeout, apply_worker_fault,
+                     corrupt_grad_shard, corrupt_wave_shard,
+                     run_with_fault)
 
 if TYPE_CHECKING:
     from ..core.graph import GraphBatch
@@ -78,6 +111,13 @@ class _SharedBlock:
     array; processes forked *after* construction inherit the mapping,
     so a parent-side :meth:`write` is immediately visible to every
     worker — no pickling, no named segments, no cleanup protocol.
+
+    Write ordering: :meth:`write` copies every parameter array into
+    the block *before* bumping the generation counter, so a worker
+    that observes the new generation is guaranteed to read the new
+    values (a worker reading mid-write sees the old generation and
+    syncs on its next wave — decisions are never half-updated because
+    the sync itself re-copies every array under the new generation).
     """
 
     def __init__(self, arrays: list[np.ndarray]):
@@ -111,7 +151,9 @@ class _SharedBlock:
         self._generation[0] += 1
 
     def matches(self, arrays: list[np.ndarray]) -> bool:
-        """Whether ``arrays`` fit this block slot-for-slot."""
+        """Whether ``arrays`` fit this block slot-for-slot (shapes and
+        dtypes, not identities — a block is reusable across any
+        parameter replacement that keeps the network architecture)."""
         return (len(arrays) == len(self.views)
                 and all(view.shape == array.shape
                         and view.dtype == array.dtype
@@ -122,13 +164,34 @@ def _fork_available() -> bool:
     return "fork" in mp.get_all_start_methods()
 
 
+def _serial_env_forced() -> bool:
+    """``REPRO_SERIAL=1``: force the deterministic serial fallback.
+
+    The escape hatch for platforms where ``fork`` exists but
+    misbehaves (e.g. fork + threads on macOS): the pool keeps its
+    shard math — and therefore its results — but never starts worker
+    processes.  An explicit ``serial=`` argument still wins.
+    """
+    return os.environ.get("REPRO_SERIAL", "").strip().lower() \
+        not in ("", "0", "false")
+
+
 def _release(token: int | None, executor: ProcessPoolExecutor) -> None:
-    """Finalizer target: must not reference the pool object itself."""
+    """Finalizer target: must not reference the pool object itself.
+
+    Runs from ``close()``, from GC, or from the interpreter's atexit
+    sweep — every step is guarded so a half-torn-down interpreter (or
+    an executor that never finished starting) can never leak the fork
+    registrations that pin the model and the ``_SharedBlock`` mmaps.
+    """
     if token is not None:
         _FORK_MODELS.pop(token, None)
         for key in [key for key in _GRAD_BLOCKS if key[0] == token]:
             _GRAD_BLOCKS.pop(key, None)
-    executor.shutdown(wait=False)
+    try:
+        executor.shutdown(wait=False)
+    except Exception:
+        pass  # interpreter shutdown / already-broken executor
 
 
 def _model_parameters(model) -> list:
@@ -167,20 +230,24 @@ def _sync_worker_model(token: int) -> object:
     return batcher
 
 
-def _wave_shard(token: int, requests: list, dtype_str: str) -> list:
+def _wave_shard(token: int, requests: list, dtype_str: str,
+                fault=None) -> list:
     """Worker entry point: serve one shard of a wave serially.
 
     ``dtype_str`` carries the parent's active inference dtype: the
     :class:`repro.nn.float32_inference` context is a per-process
     global, so without it a forked worker would keep whatever dtype
     was active at fork time and pooled waves would diverge from the
-    serial path.
+    serial path.  ``fault`` is an injected
+    :class:`~repro.serving.faults.FaultSpec` (chaos tests only).
     """
     batcher = _sync_worker_model(token)
     previous = autodiff._INFERENCE_DTYPE[0]
     autodiff._INFERENCE_DTYPE[0] = np.dtype(dtype_str)
     try:
-        return batcher.decide_serial(requests)
+        return apply_worker_fault(
+            fault, lambda: batcher.decide_serial(requests),
+            corrupt_wave_shard)
     finally:
         autodiff._INFERENCE_DTYPE[0] = previous
 
@@ -191,7 +258,7 @@ def _network_spec(network: "CostreamGNN") -> tuple:
 
 
 def _grad_shard(token: int, spec: tuple, batch: "GraphBatch",
-                labels: np.ndarray, loss_kind: str
+                labels: np.ndarray, loss_kind: str, fault=None
                 ) -> tuple[float, list[np.ndarray], int]:
     """Worker entry point: one shard's (loss, parameter grads, size).
 
@@ -213,10 +280,35 @@ def _grad_shard(token: int, spec: tuple, batch: "GraphBatch",
         for param, view in zip(network.parameters(), block.views):
             param.data = view
         _WORKER_NETWORKS[key] = network
-    network.zero_grad()
-    loss = network.loss_and_grad(batch, labels, loss_kind)
-    return (loss, [param.grad for param in network.parameters()],
-            batch.n_graphs)
+
+    def compute():
+        network.zero_grad()
+        loss = network.loss_and_grad(batch, labels, loss_kind)
+        return (loss, [param.grad for param in network.parameters()],
+                batch.n_graphs)
+
+    return apply_worker_fault(fault, compute, corrupt_grad_shard)
+
+
+def _validate_wave_shard(result, requests) -> None:
+    """Accept a wave shard only if it is structurally sound."""
+    if not isinstance(result, list) or len(result) != len(requests):
+        raise CorruptShard(
+            f"wave shard returned {type(result).__name__} of length "
+            f"{len(result) if isinstance(result, list) else '?'}, "
+            f"expected {len(requests)} decisions")
+    for decision in result:
+        if not np.isfinite(decision.predicted_objective):
+            raise CorruptShard(
+                "wave shard returned a non-finite predicted objective")
+
+
+def _classify_failure(error: BaseException) -> str:
+    if isinstance(error, (_FuturesTimeout, ShardTimeout)):
+        return "timeout"
+    if isinstance(error, CorruptShard):
+        return "corrupt"
+    return "crash"  # BrokenProcessPool, WorkerCrash, OSError, ...
 
 
 class WorkerPool:
@@ -224,16 +316,42 @@ class WorkerPool:
 
     ``processes`` is the shard count *and* the worker count; the serial
     fallback keeps the shard count, so results are independent of the
-    backend.  Use as a context manager, or call :meth:`close`.
+    backend.  Use as a context manager, or call :meth:`close` (both
+    are idempotent and safe at interpreter shutdown).
+
+    Fault-tolerance knobs (see the module docstring):
+
+    * ``timeout`` — per-shard deadline in seconds (``None`` waits
+      forever: the conservative default for machines of unknown
+      speed; the serving front door sets one);
+    * ``max_retries`` — attempts per shard beyond the first before it
+      degrades to the in-parent serial path;
+    * ``backoff`` — base sleep between pooled retry rounds (grows
+      exponentially per attempt, capped at 1 s; the serial backend
+      never sleeps);
+    * ``injector`` — a :class:`~repro.serving.faults.FaultInjector`
+      for deterministic chaos tests; ``None`` (the default) adds no
+      overhead to any dispatch.
+
+    :attr:`health` aggregates every failure and recovery the pool ever
+    observed (:class:`~repro.serving.faults.PoolHealth`).
     """
 
-    def __init__(self, processes: int = 2, serial: bool | None = None):
+    def __init__(self, processes: int = 2, serial: bool | None = None,
+                 timeout: float | None = None, max_retries: int = 2,
+                 backoff: float = 0.05,
+                 injector: FaultInjector | None = None):
         self.processes = max(1, int(processes))
         #: ``True`` runs every shard in-process (same shard math, no
         #: workers) — the deterministic fallback, forced automatically
-        #: on platforms without ``fork``.
-        self.serial = ((not _fork_available()) if serial is None
-                       else bool(serial))
+        #: on platforms without ``fork`` or under ``REPRO_SERIAL=1``.
+        self.serial = ((_serial_env_forced() or not _fork_available())
+                       if serial is None else bool(serial))
+        self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff = max(0.0, float(backoff))
+        self.injector = injector
+        self.health = PoolHealth()
         self._executor: ProcessPoolExecutor | None = None
         self._token: int | None = None
         self._wave_entry: tuple | None = None  # pending (model, objective)
@@ -244,6 +362,9 @@ class WorkerPool:
         #: restarts (the block is re-registered at the next fork).
         self._grad_blocks: dict[tuple, _SharedBlock] = {}
         self._forked_grad_specs: set[tuple] = set()
+        #: Dispatch ordinals per operation kind — the coordinates the
+        #: fault injector addresses.
+        self._steps = {"wave": 0, "grad": 0}
         # Safety net for pools dropped without close(): releases the
         # fork registration (which pins the model) and shuts the
         # workers down when the pool object is garbage collected.
@@ -255,10 +376,19 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down and drop the fork registrations."""
-        if self._finalizer is not None:
-            self._finalizer()  # idempotent; runs _release once
-            self._finalizer = None
+        """Shut the workers down and drop the fork registrations.
+
+        Idempotent: safe to call any number of times, from ``__exit__``
+        after a partial construction, or at interpreter shutdown — the
+        teardown itself runs through the ``weakref.finalize`` callback,
+        which fires exactly once however many paths reach it.
+        """
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            try:
+                finalizer()  # idempotent; runs _release once
+            except Exception:
+                pass  # interpreter shutdown: registries may be gone
         self._executor = None
         self._token = None
         self._wave_entry = None
@@ -284,24 +414,184 @@ class WorkerPool:
         return [part for part in parts if part.size]
 
     # ------------------------------------------------------------------
+    # Resilient shard dispatch (shared by waves and gradient steps)
+    # ------------------------------------------------------------------
+    def _next_step(self, op: str) -> int:
+        step = self._steps[op]
+        self._steps[op] = step + 1
+        return step
+
+    def _run_resilient(self, op: str, payloads: list,
+                       submit: Callable, compute: Callable,
+                       validate: Callable, degrade: Callable
+                       ) -> tuple[list, int]:
+        """Dispatch every payload shard; recover until all complete.
+
+        ``submit(payload, fault)`` submits one shard to the executor
+        (pooled backend); ``compute(payload, fault)`` computes it
+        in-process (serial backend, simulated faults); ``validate``
+        raises :class:`CorruptShard` on a bad result; ``degrade``
+        recomputes a shard on the trusted in-parent path (never
+        injected).  Returns ``(results in shard order, n degraded)``.
+        """
+        health = self.health
+        injector = self.injector
+        step = self._next_step(op)
+        n = len(payloads)
+        results: list = [None] * n
+        missing = [True] * n
+        attempts = [0] * n
+        pending = list(range(n))
+        degraded = 0
+        health.shards_dispatched += n
+        while pending:
+            failures: list[tuple[int, str]] = []
+            needs_restart = False
+            if self.serial:
+                for index in pending:
+                    fault = (injector.fault_for(op, step, index,
+                                                attempts[index])
+                             if injector else None)
+                    try:
+                        result = compute(payloads[index], fault)
+                        validate(result, payloads[index])
+                    except Exception as error:
+                        failures.append((index,
+                                         _classify_failure(error)))
+                    else:
+                        results[index] = result
+                        missing[index] = False
+            else:
+                futures: list[tuple[int, object]] = []
+                try:
+                    for index in pending:
+                        fault = (injector.fault_for(op, step, index,
+                                                    attempts[index])
+                                 if injector else None)
+                        futures.append((index, submit(payloads[index],
+                                                      fault)))
+                except Exception:
+                    # The executor broke while we were submitting;
+                    # everything not yet submitted fails this round.
+                    submitted = {index for index, _ in futures}
+                    needs_restart = True
+                    for index in pending:
+                        if index not in submitted:
+                            failures.append((index, "crash"))
+                for index, future in futures:
+                    try:
+                        result = future.result(timeout=self.timeout)
+                        validate(result, payloads[index])
+                    except Exception as error:
+                        reason = _classify_failure(error)
+                        failures.append((index, reason))
+                        if reason in ("crash", "timeout"):
+                            needs_restart = True
+                    else:
+                        results[index] = result
+                        missing[index] = False
+            still_pending: list[int] = []
+            for index, reason in failures:
+                attempts[index] += 1
+                health.record_failure(reason)
+                if attempts[index] > self.max_retries:
+                    # Retry budget spent: the trusted in-parent path
+                    # finishes the shard (bitwise identical — every
+                    # shard computation is deterministic).
+                    results[index] = degrade(payloads[index])
+                    missing[index] = False
+                    degraded += 1
+                    health.degraded_shards += 1
+                    health.reports.append(DegradedModeReport(
+                        op=op, step=step, shard=index,
+                        attempts=attempts[index], reason=reason))
+                else:
+                    health.retries += 1
+                    still_pending.append(index)
+            pending = still_pending
+            if needs_restart:
+                # A dead or wedged worker poisons the whole executor:
+                # refork it (registrations preserved) and re-dispatch
+                # only the shards still missing.
+                self._restart_workers()
+            if pending and not self.serial and self.backoff:
+                worst = max(attempts[index] for index in pending)
+                time.sleep(min(self.backoff * (2.0 ** (worst - 1)),
+                               1.0))
+        return results, degraded
+
+    def _restart_workers(self) -> None:
+        """Kill and refork the workers, keeping every registration.
+
+        Unlike :meth:`close`, the wave entry and gradient blocks
+        survive: the fresh executor re-registers them pre-fork, so the
+        next dispatch round proceeds as if the pool had just started —
+        including hung workers, which are terminated outright
+        (``shutdown`` alone would wait for their sleep to finish).
+        """
+        executor = self._executor
+        if executor is not None:
+            workers = getattr(executor, "_processes", None) or {}
+            for process in list(workers.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            try:
+                # The workers are dead; joining the executor here lets
+                # its management thread deregister its atexit wakeup
+                # cleanly instead of erroring at interpreter exit.
+                executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            try:
+                finalizer()
+            except Exception:
+                pass
+        self._executor = None
+        self._token = None
+        self.health.restarts += 1
+        self._start_executor()
+
+    # ------------------------------------------------------------------
     # Decision waves
     # ------------------------------------------------------------------
     def run_wave(self, batcher: "DecisionBatcher",
                  requests: "Sequence[DecisionRequest]"
                  ) -> "list[PlacementDecision]":
         """Shard one wave across the workers (or serve it serially)."""
-        if self.serial or self.processes == 1 or len(requests) < 2:
+        if self.processes == 1 or len(requests) < 2:
             return batcher.decide_serial(requests)
-        self._ensure_wave_workers(batcher)
+        if self.serial and self.injector is None:
+            # The zero-overhead happy path of the serial backend: one
+            # in-process wave, no dispatch machinery at all.
+            return batcher.decide_serial(requests)
+        if not self.serial:
+            self._ensure_wave_workers(batcher)
         shards = self.shard_indices(len(requests))
+        payloads = [[requests[i] for i in shard] for shard in shards]
         dtype_str = autodiff.inference_dtype().str
-        futures = [self._executor.submit(
-            _wave_shard, self._token,
-            [requests[i] for i in shard], dtype_str)
-            for shard in shards]
+
+        def submit(payload, fault):
+            return self._executor.submit(_wave_shard, self._token,
+                                         payload, dtype_str, fault)
+
+        def compute(payload, fault):
+            return run_with_fault(
+                fault, lambda: batcher.decide_serial(payload),
+                corrupt_wave_shard)
+
+        shard_results, degraded = self._run_resilient(
+            "wave", payloads, submit, compute, _validate_wave_shard,
+            batcher.decide_serial)
+        self.health.waves += 1
+        if degraded:
+            self.health.degraded_waves += 1
         decisions = [None] * len(requests)
-        for shard, future in zip(shards, futures):
-            for index, decision in zip(shard, future.result()):
+        for shard, shard_decisions in zip(shards, shard_results):
+            for index, decision in zip(shard, shard_decisions):
                 decisions[index] = decision
         return decisions
 
@@ -353,23 +643,59 @@ class WorkerPool:
         data crosses the process boundary per step); the serial
         fallback replays the identical per-shard computation
         in-process, so both backends return bitwise-equal shard
-        results.
+        results.  Either way the resilient dispatcher retries,
+        restarts and (past the budget) degrades failing shards without
+        changing a bit of the combined gradient.
         """
-        if self.serial or self.processes == 1 or len(pairs) == 1:
-            results = []
+        serial_happy = (self.serial and self.injector is None)
+        if serial_happy or self.processes == 1 or len(pairs) == 1:
             saved = [param.grad for param in network.parameters()]
-            for batch, labels in pairs:
-                network.zero_grad()
-                loss = network.loss_and_grad(batch, labels, loss_kind)
-                results.append(
-                    (loss, [param.grad for param in network.parameters()],
-                     batch.n_graphs))
-                for param in network.parameters():
-                    param.grad = None
+            results = [self._inprocess_grad_shard(network, pair,
+                                                  loss_kind)
+                       for pair in pairs]
             for param, grad in zip(network.parameters(), saved):
                 param.grad = grad
             return results
         spec = _network_spec(network)
+        shapes = [param.data.shape for param in network.parameters()]
+        if not self.serial:
+            self._ensure_grad_workers(network, spec)
+
+        def submit(payload, fault):
+            batch, labels = payload
+            return self._executor.submit(_grad_shard, self._token,
+                                         spec, batch, labels,
+                                         loss_kind, fault)
+
+        def compute(payload, fault):
+            return run_with_fault(
+                fault,
+                lambda: self._inprocess_grad_shard(network, payload,
+                                                   loss_kind),
+                corrupt_grad_shard)
+
+        def validate(result, payload):
+            self._validate_grad_shard(result, payload, shapes)
+
+        def degrade(payload):
+            return self._inprocess_grad_shard(network, payload,
+                                              loss_kind)
+
+        saved = [param.grad for param in network.parameters()]
+        try:
+            results, degraded = self._run_resilient(
+                "grad", pairs, submit, compute, validate, degrade)
+        finally:
+            for param, grad in zip(network.parameters(), saved):
+                param.grad = grad
+        self.health.grad_steps += 1
+        if degraded:
+            self.health.degraded_grad_steps += 1
+        return results
+
+    def _ensure_grad_workers(self, network: "CostreamGNN",
+                             spec: tuple) -> None:
+        """Register the network's shared block and fork if needed."""
         params = [param.data for param in network.parameters()]
         block = self._grad_blocks.get(spec)
         if block is not None and not block.matches(params):
@@ -389,26 +715,75 @@ class WorkerPool:
         if self._executor is None:
             self._start_executor()
         block.write(params)
-        futures = [self._executor.submit(_grad_shard, self._token, spec,
-                                         batch, labels, loss_kind)
-                   for batch, labels in pairs]
-        return [future.result() for future in futures]
+
+    @staticmethod
+    def _inprocess_grad_shard(network: "CostreamGNN", pair,
+                              loss_kind: str
+                              ) -> tuple[float, list[np.ndarray], int]:
+        """One shard computed in the parent — the serial backend AND
+        the trusted degraded-mode fallback (identical math)."""
+        batch, labels = pair
+        network.zero_grad()
+        loss = network.loss_and_grad(batch, labels, loss_kind)
+        grads = [param.grad for param in network.parameters()]
+        for param in network.parameters():
+            param.grad = None
+        return (loss, grads, batch.n_graphs)
+
+    @staticmethod
+    def _validate_grad_shard(result, pair, shapes) -> None:
+        """Accept a gradient shard only if it is structurally sound."""
+        batch, _ = pair
+        try:
+            loss, grads, n_graphs = result
+        except (TypeError, ValueError):
+            raise CorruptShard("gradient shard is not a (loss, grads, "
+                              "n) triple") from None
+        if not np.isfinite(loss):
+            raise CorruptShard("gradient shard returned a non-finite "
+                              "loss")
+        if n_graphs != batch.n_graphs or len(grads) != len(shapes):
+            raise CorruptShard("gradient shard shape bookkeeping is "
+                              "inconsistent")
+        for grad, shape in zip(grads, shapes):
+            if grad is None or grad.shape != shape:
+                raise CorruptShard("gradient shard has a mis-shaped "
+                                  "parameter gradient")
+            if not np.all(np.isfinite(grad)):
+                raise CorruptShard("gradient shard has non-finite "
+                                  "gradient values")
 
     def _start_executor(self) -> None:
-        """Fork the workers, registering everything they must inherit."""
+        """Fork the workers, registering everything they must inherit.
+
+        Exception-safe: if the executor cannot start, every
+        registration made here is rolled back before the error
+        propagates, so a failed start leaks neither the model pins nor
+        the shared-block mappings.
+        """
         token = next(_TOKENS)
         self._token = token
-        if self._wave_entry is not None:
-            model, objective = self._wave_entry
-            self._wave_block.forked_generation = \
-                self._wave_block.generation
-            _FORK_MODELS[token] = (model, objective, self._wave_block)
-        for spec, block in self._grad_blocks.items():
-            _GRAD_BLOCKS[(token, spec)] = block
-        self._forked_grad_specs = set(self._grad_blocks)
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.processes,
-            mp_context=mp.get_context("fork"))
+        try:
+            if self._wave_entry is not None:
+                model, objective = self._wave_entry
+                self._wave_block.forked_generation = \
+                    self._wave_block.generation
+                _FORK_MODELS[token] = (model, objective,
+                                       self._wave_block)
+            for spec, block in self._grad_blocks.items():
+                _GRAD_BLOCKS[(token, spec)] = block
+            self._forked_grad_specs = set(self._grad_blocks)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.processes,
+                mp_context=mp.get_context("fork"))
+        except BaseException:
+            _FORK_MODELS.pop(token, None)
+            for key in [key for key in _GRAD_BLOCKS
+                        if key[0] == token]:
+                _GRAD_BLOCKS.pop(key, None)
+            self._token = None
+            self._executor = None
+            raise
         self._finalizer = weakref.finalize(self, _release, token,
                                            self._executor)
 

@@ -1,0 +1,224 @@
+"""Deadline-aware serving front door (ROADMAP open item 2).
+
+:class:`~repro.serving.batcher.DecisionBatcher` answers *waves* it is
+handed; production traffic arrives one request at a time.
+:class:`ServingLoop` sits in between: callers :meth:`submit` individual
+:class:`~repro.serving.batcher.DecisionRequest` objects and get a
+future back, while a dispatcher thread forms waves **adaptively** —
+a wave goes out the moment it fills (``max_wave`` requests, the
+throughput-optimal batch) OR the moment its oldest request has waited
+``deadline_s`` (the latency guarantee), whichever comes first.  Under
+light traffic requests pay at most the deadline; under heavy traffic
+waves are always full and per-decision cost approaches the mega-batch
+optimum (PERFORMANCE.md §7).
+
+Admission control: the intake queue is bounded (``max_queue``).  A
+non-blocking :meth:`submit` raises :class:`BackpressureError` when the
+queue is full — callers shed load explicitly instead of growing an
+unbounded backlog; ``block=True`` waits for capacity instead (the
+convenience :meth:`serve` does this).
+
+Determinism: wave formation changes *grouping only*.  Every decision
+is independent of which wave served it (the mega-batch forward is
+bitwise row-invariant, PERFORMANCE.md §7), so any chunking of a
+request stream yields decisions bit-identical to serving each request
+alone — the chunking-invariance oracle ``tests/test_faults.py``
+asserts.  Faults inside a wave are absorbed by the pool's
+retry/degrade machinery (§13); a wave that still fails rejects only
+its own requests' futures.
+
+:meth:`health_snapshot` merges the loop's :class:`ServiceStats` with
+the underlying pool's :class:`~repro.serving.faults.PoolHealth` so
+``bench_hotpaths.py`` and operators read one dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from ..placement.optimizer import PlacementDecision
+    from .batcher import DecisionBatcher, DecisionRequest
+
+__all__ = ["ServingLoop", "ServiceStats", "BackpressureError"]
+
+
+class BackpressureError(RuntimeError):
+    """The intake queue is full and the submit was non-blocking."""
+
+
+@dataclass
+class ServiceStats:
+    """Per-loop admission and wave-formation counters."""
+
+    submitted: int = 0       # requests admitted to the queue
+    rejected: int = 0        # requests refused by backpressure
+    served: int = 0          # decisions delivered to futures
+    failed: int = 0          # futures rejected by a wave failure
+    waves: int = 0           # waves dispatched
+    full_waves: int = 0      # dispatched because the wave filled
+    deadline_waves: int = 0  # dispatched because the deadline expired
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _Entry:
+    request: "DecisionRequest"
+    future: Future
+    arrival: float = field(default_factory=time.monotonic)
+
+
+class ServingLoop:
+    """Adaptive wave formation over a :class:`DecisionBatcher`.
+
+    ``max_wave`` caps wave size (dispatch immediately when reached),
+    ``deadline_s`` caps the oldest request's queueing delay, and
+    ``max_queue`` bounds the intake queue (admission control).  Use as
+    a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, batcher: "DecisionBatcher", max_wave: int = 16,
+                 deadline_s: float = 0.02, max_queue: int = 256):
+        if max_wave < 1:
+            raise ValueError("max_wave must be at least 1")
+        if max_queue < max_wave:
+            raise ValueError("max_queue must be >= max_wave")
+        self.batcher = batcher
+        self.max_wave = int(max_wave)
+        self.deadline_s = float(deadline_s)
+        self.max_queue = int(max_queue)
+        self.stats = ServiceStats()
+        self._queue: deque[_Entry] = deque()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # dispatcher waits
+        self._space = threading.Condition(self._lock)  # producers wait
+        self._open = True
+        self._thread = threading.Thread(target=self._run,
+                                        name="serving-loop",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: "DecisionRequest",
+               block: bool = False) -> "Future[PlacementDecision]":
+        """Admit one request; returns a future for its decision.
+
+        Non-blocking submits raise :class:`BackpressureError` when the
+        queue is full; ``block=True`` waits for capacity instead.
+        """
+        with self._lock:
+            while True:
+                if not self._open:
+                    raise RuntimeError("ServingLoop is closed")
+                if len(self._queue) < self.max_queue:
+                    break
+                if not block:
+                    self.stats.rejected += 1
+                    raise BackpressureError(
+                        f"intake queue is full "
+                        f"({self.max_queue} requests)")
+                self._space.wait()
+            entry = _Entry(request, Future())
+            self._queue.append(entry)
+            self.stats.submitted += 1
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                             len(self._queue))
+            self._work.notify()
+            return entry.future
+
+    def serve(self, requests: "Sequence[DecisionRequest]"
+              ) -> "list[PlacementDecision]":
+        """Blocking convenience: submit all, wait, return in order."""
+        futures = [self.submit(request, block=True)
+                   for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def _next_wave(self) -> list[_Entry] | None:
+        """Block until a wave is due; ``None`` means shut down.
+
+        A wave is due when it fills (``max_wave``), when its oldest
+        request's deadline expires, or when the loop is closing (the
+        final drain serves everything still queued).
+        """
+        with self._lock:
+            while True:
+                if self._queue:
+                    if (len(self._queue) >= self.max_wave
+                            or not self._open):
+                        break
+                    expiry = (self._queue[0].arrival + self.deadline_s
+                              - time.monotonic())
+                    if expiry <= 0:
+                        break
+                    self._work.wait(timeout=expiry)
+                elif not self._open:
+                    return None
+                else:
+                    self._work.wait()
+            wave = [self._queue.popleft()
+                    for _ in range(min(self.max_wave,
+                                       len(self._queue)))]
+            self.stats.waves += 1
+            if len(wave) >= self.max_wave:
+                self.stats.full_waves += 1
+            else:
+                self.stats.deadline_waves += 1
+            self._space.notify_all()
+            return wave
+
+    def _run(self) -> None:
+        while True:
+            wave = self._next_wave()
+            if wave is None:
+                return
+            try:
+                decisions = self.batcher.decide(
+                    [entry.request for entry in wave])
+            except BaseException as error:
+                with self._lock:
+                    self.stats.failed += len(wave)
+                for entry in wave:
+                    entry.future.set_exception(error)
+            else:
+                with self._lock:
+                    self.stats.served += len(wave)
+                for entry, decision in zip(wave, decisions):
+                    entry.future.set_result(decision)
+
+    # ------------------------------------------------------------------
+    def health_snapshot(self) -> dict:
+        """Loop stats merged with the pool's health counters."""
+        snapshot = {"service": self.stats.as_dict()}
+        pool = getattr(self.batcher, "pool", None)
+        if pool is not None:
+            snapshot["pool"] = pool.health.as_dict()
+        return snapshot
+
+    def close(self) -> None:
+        """Drain the queue, stop the dispatcher, reject late submits.
+
+        Idempotent; every already-admitted request is still served
+        (the dispatcher drains the queue before exiting)."""
+        with self._lock:
+            if not self._open and not self._thread.is_alive():
+                return
+            self._open = False
+            self._work.notify_all()
+            self._space.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "ServingLoop":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -35,10 +35,13 @@ opt-in: ``TrainingConfig(member_training="stacked")``.
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
 import numpy as np
 
 from ..core.model import TrainableMemberStack
-from ..core.training import (CostModel, TrainingHistory,
+from ..core.training import (CostModel, TrainingHistory, _jsonable,
                              _oversampled_pool, holdout_size,
                              resolve_loss_kind)
 from ..nn.optim import StackedAdam, stacked_clip_grad_norm
@@ -86,7 +89,9 @@ class StackedTrainer:
     def fit(self, graphs, labels: np.ndarray,
             val_graphs=None, val_labels=None,
             epochs: int | None = None,
-            schedule: BatchSchedule | None = None
+            schedule: BatchSchedule | None = None,
+            checkpoint_path=None, checkpoint_every: int = 1,
+            resume: bool = False, on_epoch_end=None
             ) -> list[TrainingHistory]:
         """Train all members; mirrors ``CostModel.fit`` line for line.
 
@@ -95,6 +100,14 @@ class StackedTrainer:
         reference's exact kernels per member — only batched across the
         member axis.  Histories append to each member's
         ``CostModel.history`` exactly as ``fit`` would.
+
+        ``checkpoint_path`` / ``checkpoint_every`` / ``resume`` /
+        ``on_epoch_end`` match ``CostModel.fit``: epoch-granular,
+        atomically written crash recovery whose resumed run is bitwise
+        identical to the uninterrupted one (PERFORMANCE.md §13).  The
+        schedule needs no serialized state — a fresh
+        :class:`~repro.training.BatchSchedule` with the same seed
+        replays the split and every epoch's shuffle deterministically.
         """
         members = self.members
         config = self.config
@@ -136,7 +149,89 @@ class StackedTrainer:
         loss_kind = resolve_loss_kind(config, members[0].is_regression)
         histories = [member.history for member in members]
 
-        for epoch in range(budget):
+        checkpointing = checkpoint_path is not None
+        if checkpointing:
+            # Imported here: persistence builds on the core modules.
+            from ..core.persistence import (load_checkpoint,
+                                            save_checkpoint)
+
+            fingerprint = _jsonable({
+                "kind": "stacked_fit",
+                "metrics": [member.metric for member in members],
+                "seeds": [member.seed for member in members],
+                "size": size,
+                "n_train": len(graphs),
+                "n_val": len(val_graphs),
+                "budget": budget,
+                "loss_kind": loss_kind,
+                "schedule_seed": getattr(schedule, "seed", None),
+                "config": dataclasses.asdict(config),
+            })
+
+            def save_fit_state(next_epoch: int, completed: bool):
+                arrays = {}
+                for i, param in enumerate(params):
+                    arrays[f"stack/{i}"] = param.data
+                for k, state in enumerate(best_state):
+                    for key, value in state.items():
+                        arrays[f"best/{k}/{key}"] = value
+                for i, (m, v) in enumerate(zip(optimizer._m,
+                                               optimizer._v)):
+                    arrays[f"adam_m/{i}"] = m
+                    arrays[f"adam_v/{i}"] = v
+                arrays["best_val"] = best_val
+                for k, history in enumerate(histories):
+                    arrays[f"hist/{k}/train"] = np.asarray(
+                        history.train_loss, dtype=np.float64)
+                    arrays[f"hist/{k}/val"] = np.asarray(
+                        history.val_loss, dtype=np.float64)
+                save_checkpoint(checkpoint_path, {
+                    "kind": "stacked_fit", "version": 1,
+                    "fingerprint": fingerprint,
+                    "epoch": next_epoch,
+                    "completed": completed,
+                    "epochs_since_best": list(epochs_since_best),
+                    "active": [bool(flag) for flag in active],
+                    "best_epoch": [history.best_epoch
+                                   for history in histories],
+                    "adam_step": optimizer._step,
+                }, arrays)
+
+        start_epoch = 0
+        if checkpointing and resume and Path(checkpoint_path).exists():
+            header, arrays = load_checkpoint(checkpoint_path)
+            if header.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    "checkpoint does not match this training run "
+                    "(different members, data, or configuration)")
+            for i, param in enumerate(params):
+                param.data[:] = arrays[f"stack/{i}"]
+            best_state = [
+                {key: arrays[f"best/{k}/{key}"].copy()
+                 for key in best_state[k]}
+                for k in range(size)]
+            best_val = arrays["best_val"].astype(np.float64)
+            optimizer._step = int(header["adam_step"])
+            for i in range(len(params)):
+                optimizer._m[i][:] = arrays[f"adam_m/{i}"]
+                optimizer._v[i][:] = arrays[f"adam_v/{i}"]
+            epochs_since_best = [int(n) for n
+                                 in header["epochs_since_best"]]
+            active = [bool(flag) for flag in header["active"]]
+            for k, history in enumerate(histories):
+                history.train_loss[:] = [
+                    float(x) for x in arrays[f"hist/{k}/train"]]
+                history.val_loss[:] = [
+                    float(x) for x in arrays[f"hist/{k}/val"]]
+                history.best_epoch = int(header["best_epoch"][k])
+            start_epoch = int(header["epoch"])
+            if header["completed"]:
+                for k, member in enumerate(members):
+                    member.network.load_state_dict(best_state[k])
+                    member.network.eval()
+                return histories
+
+        for epoch in range(start_epoch, budget):
             if not any(active):
                 break
             optimizer.lr = config.learning_rate * (
@@ -170,6 +265,14 @@ class StackedTrainer:
                     epochs_since_best[k] += 1
                     if epochs_since_best[k] >= config.patience:
                         active[k] = False
+            stop = not any(active)
+            if checkpointing and (stop or epoch + 1 == budget
+                                  or (epoch + 1) % checkpoint_every
+                                  == 0):
+                save_fit_state(epoch + 1,
+                               completed=stop or epoch + 1 == budget)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch)
 
         for k, member in enumerate(members):
             member.network.load_state_dict(best_state[k])

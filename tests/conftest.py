@@ -20,6 +20,16 @@ from repro.query import (DataType, Filter, QueryPlan, Sink, Source,  # noqa: E40
                          WindowedJoin)
 
 
+def pytest_configure(config):
+    # pytest-timeout provides the enforcement and is installed in CI;
+    # registering the marker here keeps local runs (where the plugin
+    # is optional) warning-free — the marks are simply inert.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than "
+        "``seconds`` (enforced by pytest-timeout where installed)")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

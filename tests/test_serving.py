@@ -30,8 +30,13 @@ from repro.nn import float32_inference
 from repro.placement.enumeration import HeuristicPlacementEnumerator
 from repro.placement.optimizer import PlacementOptimizer
 from repro.query.generator import QueryGenerator
-from repro.serving import DecisionBatcher, DecisionRequest, WorkerPool
-from repro.serving.pool import _fork_available
+from repro.serving import (BackpressureError, DecisionBatcher,
+                           DecisionRequest, ServingLoop, WorkerPool)
+from repro.serving.pool import _SharedBlock, _fork_available
+
+# Per-test deadline (enforced by pytest-timeout in CI): pool and
+# serving-loop tests must never wedge the suite.
+pytestmark = pytest.mark.timeout(120)
 
 _METRICS = ("processing_latency", "success", "backpressure")
 
@@ -411,6 +416,225 @@ class TestWorkerPool:
         assert sorted(np.concatenate(shards).tolist()) == list(range(8))
         assert all(shard.size for shard in shards)
         assert len(pool.shard_indices(2)) == 2
+
+    def test_close_is_idempotent(self):
+        model = _model()
+        requests = _requests(3, seed=47)
+        pool = WorkerPool(processes=2, serial=True)
+        DecisionBatcher(model, pool=pool).decide(requests)
+        pool.close()
+        pool.close()  # second close must be a no-op, not an error
+        with pool:
+            pass  # __exit__ is a third close
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_fork_close_is_idempotent_and_releases(self):
+        from repro.serving.pool import _FORK_MODELS
+
+        model = _model()
+        requests = _requests(3, seed=53)
+        pool = WorkerPool(processes=2)
+        DecisionBatcher(model, pool=pool).decide(requests)
+        token = pool._token
+        assert token in _FORK_MODELS
+        pool.close()
+        assert token not in _FORK_MODELS, \
+            "close must drop the fork registration that pins the model"
+        pool.close()
+        assert pool._executor is None
+
+    def test_repro_serial_env_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        assert WorkerPool(processes=2).serial
+        monkeypatch.setenv("REPRO_SERIAL", "0")
+        pool = WorkerPool(processes=2)
+        assert pool.serial == (not _fork_available())
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        # An explicit serial= argument still wins over the env.
+        assert not WorkerPool(processes=2, serial=False).serial
+
+    def test_repro_serial_env_results_identical(self, monkeypatch):
+        model = _model()
+        requests = _requests(4, seed=59)
+        plain = DecisionBatcher(model).decide(requests)
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        with WorkerPool(processes=2) as pool:
+            assert pool.serial
+            _assert_decisions_equal(
+                plain, DecisionBatcher(model, pool=pool).decide(requests))
+
+
+class TestSharedBlock:
+    def _arrays(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return [rng.standard_normal((3, 4)),
+                rng.standard_normal(5).astype(np.float32),
+                rng.standard_normal((2, 2, 2))]
+
+    def test_write_then_generation_bump_ordering(self):
+        """A reader that observes generation N is guaranteed to see
+        the values of write N: the construction write already bumps
+        the generation once, and every later write copies every array
+        before the counter moves."""
+        arrays = self._arrays()
+        block = _SharedBlock(arrays)
+        assert block.generation == 1  # construction performed write #1
+        for view, array in zip(block.views, arrays):
+            np.testing.assert_array_equal(view, array)
+        fresh = self._arrays(seed=1)
+        block.write(fresh)
+        assert block.generation == 2
+        for view, array in zip(block.views, fresh):
+            np.testing.assert_array_equal(view, array)
+
+    def test_matches_is_shape_dtype_not_identity(self):
+        arrays = self._arrays()
+        block = _SharedBlock(arrays)
+        assert block.matches(arrays)
+        # Different array objects, same slots: still a match (the
+        # block is reusable across parameter replacement).
+        assert block.matches(self._arrays(seed=9))
+        # Changed shape, dtype, or count: no match.
+        wrong_shape = self._arrays()
+        wrong_shape[0] = wrong_shape[0].reshape(4, 3)
+        assert not block.matches(wrong_shape)
+        wrong_dtype = self._arrays()
+        wrong_dtype[1] = wrong_dtype[1].astype(np.float64)
+        assert not block.matches(wrong_dtype)
+        assert not block.matches(arrays[:-1])
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_worker_resync_after_refresh_racing_dispatch(self):
+        """ISSUE-6 satellite: an in-place weight refresh immediately
+        followed by a wave dispatch must never serve stale weights —
+        the workers see the generation bump on the very next shard
+        they compute (write precedes bump, so the sync is complete)."""
+        model = _model()
+        requests = _requests(4, seed=61)
+        with WorkerPool(processes=2) as pool:
+            batcher = DecisionBatcher(model, pool=pool)
+            batcher.decide(requests)  # fork with the seed-0 weights
+            for shift in (0.04, -0.03, 0.01):
+                for ensemble in model.ensembles.values():
+                    for member in ensemble.members:
+                        state = member.network.state_dict()
+                        member.network.load_state_dict(
+                            {key: value + shift
+                             for key, value in state.items()})
+                # No settling time: refresh and dispatch back-to-back.
+                pooled = batcher.decide(requests)
+                fresh = DecisionBatcher(model).decide(requests)
+                _assert_decisions_equal(pooled, fresh)
+
+
+class TestServingLoop:
+    def test_chunking_invariance(self):
+        """The adaptive-wave oracle: however the loop chunks the
+        stream, decisions equal direct wave service bitwise."""
+        model = _model()
+        requests = _requests(9, seed=67)
+        reference = DecisionBatcher(model).decide(requests)
+        for max_wave in (1, 4, 16):
+            with ServingLoop(DecisionBatcher(model), max_wave=max_wave,
+                             deadline_s=0.005, max_queue=32) as loop:
+                _assert_decisions_equal(loop.serve(requests), reference)
+
+    def test_full_wave_dispatch(self):
+        model = _model()
+        requests = _requests(6, seed=71)
+        with ServingLoop(DecisionBatcher(model), max_wave=3,
+                         deadline_s=60.0, max_queue=16) as loop:
+            decisions = loop.serve(requests)
+        assert len(decisions) == 6
+        # A 60s deadline never expires in-test: both waves were full.
+        assert loop.stats.full_waves == 2
+        assert loop.stats.served == 6
+
+    def test_deadline_dispatch(self):
+        model = _model()
+        request = _requests(1, seed=73)[0]
+        reference = DecisionBatcher(model).decide([request])
+        with ServingLoop(DecisionBatcher(model), max_wave=64,
+                         deadline_s=0.01, max_queue=128) as loop:
+            future = loop.submit(request)
+            decision = future.result(timeout=30)
+        _assert_decisions_equal([decision], reference)
+        # The wave could never fill; only the deadline dispatched it.
+        assert loop.stats.deadline_waves == 1
+        assert loop.stats.full_waves == 0
+
+    def test_backpressure_rejects_when_full(self):
+        import threading
+        import time as time_module
+
+        model = _model()
+        requests = _requests(4, seed=79)
+        gate = threading.Event()
+        inner = DecisionBatcher(model)
+
+        class GatedBatcher:
+            pool = None
+
+            def decide(self, wave):
+                gate.wait(timeout=30)
+                return inner.decide(wave)
+
+        loop = ServingLoop(GatedBatcher(), max_wave=1,
+                           deadline_s=60.0, max_queue=2)
+        try:
+            futures = [loop.submit(requests[0])]
+            # Wait until the dispatcher holds request 0 (blocked on the
+            # gate) so the queue capacity is entirely ours to fill.
+            deadline = time_module.monotonic() + 30
+            while loop.stats.waves < 1:
+                assert time_module.monotonic() < deadline
+                time_module.sleep(0.001)
+            futures.append(loop.submit(requests[1]))
+            futures.append(loop.submit(requests[2]))
+            with pytest.raises(BackpressureError):
+                loop.submit(requests[3])
+            assert loop.stats.rejected == 1
+        finally:
+            gate.set()
+            loop.close()
+        assert all(future.result(timeout=30) is not None
+                   for future in futures)
+        assert loop.stats.served == 3
+
+    def test_close_drains_and_rejects_late_submits(self):
+        model = _model()
+        requests = _requests(4, seed=83)
+        loop = ServingLoop(DecisionBatcher(model), max_wave=16,
+                           deadline_s=60.0, max_queue=16)
+        futures = [loop.submit(request) for request in requests]
+        loop.close()  # must serve everything already admitted
+        assert all(future.done() for future in futures)
+        assert loop.stats.served == 4
+        with pytest.raises(RuntimeError):
+            loop.submit(requests[0])
+        loop.close()  # idempotent
+
+    def test_health_snapshot_merges_pool_health(self):
+        model = _model()
+        requests = _requests(4, seed=89)
+        with WorkerPool(processes=2, serial=True) as pool:
+            with ServingLoop(DecisionBatcher(model, pool=pool),
+                             max_wave=4, deadline_s=0.01,
+                             max_queue=16) as loop:
+                loop.serve(requests)
+                snapshot = loop.health_snapshot()
+        assert snapshot["service"]["served"] == 4
+        assert "pool" in snapshot
+        assert snapshot["pool"]["degraded_waves"] == 0
+
+    def test_invalid_configuration_rejected(self):
+        model = _model()
+        with pytest.raises(ValueError):
+            ServingLoop(DecisionBatcher(model), max_wave=0)
+        with pytest.raises(ValueError):
+            ServingLoop(DecisionBatcher(model), max_wave=8, max_queue=4)
 
 
 class TestPooledTraining:
