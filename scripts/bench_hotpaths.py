@@ -88,12 +88,23 @@ def main(argv: list[str] | None = None) -> int:
     if "service" in throughput:
         service = throughput["service"]
         stats = service["stats"]
+        churn_quiet = all(v == 0 for v in
+                          service.get("churn", {}).values())
         print(f"serving:   {service['decisions_per_s_service']:,.0f} "
               f"decisions/s through the deadline-aware loop "
               f"(max wave {service['max_wave']}, waves "
               f"{stats['waves']}, rejected {stats['rejected']}, "
-              f"failed {stats['failed']}, matches direct dispatch: "
-              f"{service['decisions_match']})")
+              f"failed {stats['failed']}, p99 "
+              f"{stats['latency_p99_ms']:.1f} ms, matches direct "
+              f"dispatch: {service['decisions_match']}, churn "
+              f"counters quiet: {churn_quiet})")
+    churn = results["churn_repair"]
+    print(f"churn:     {churn['speedup']:6.2f}x incremental repair vs "
+          f"full re-placement ({1e3 * churn['repair_s_per_event']:.1f} "
+          f"ms/repair, {churn['repair_candidates']} vs "
+          f"{churn['full_candidates']} candidate assignments, "
+          f"objective ratio {churn['objective_ratio_q50']:.3f}, "
+          f"deterministic: {churn['deterministic']})")
     print(f"ensemble:  {ensemble['speedup']:6.1f}x batched-GEMM "
           f"(K={ensemble['ensemble_size']}, "
           f"float32 {ensemble['float32_speedup']:.1f}x, "

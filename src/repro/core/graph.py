@@ -507,7 +507,16 @@ class HostFeatures(dict):
     stack of the vectors in cluster node order, built once per cluster
     featurization instead of re-gathered through per-node dict lookups
     for every candidate.
+
+    :attr:`cluster_version` records ``cluster.version`` at featurize
+    time.  Clusters mutate under churn and a ``degrade`` keeps node
+    ids (so :meth:`matrix`'s node-id key cannot detect it) — cross-call
+    caches of a featurized cluster must key on
+    ``(cluster, cluster_version)``, never on the cluster alone.
     """
+
+    #: ``cluster.version`` when :func:`featurize_hosts` built this.
+    cluster_version: int = -1
 
     def matrix(self, node_ids: Sequence[str]) -> np.ndarray:
         """Feature rows stacked in ``node_ids`` order (cached)."""
@@ -528,12 +537,15 @@ def featurize_hosts(cluster: Cluster, featurizer: Featurizer,
     Vectors come out in the active inference dtype (see
     :func:`featurize_plan`).  The returned mapping is a
     :class:`HostFeatures` dict whose stacked matrix feeds the
-    index-native candidate collation."""
+    index-native candidate collation; its ``cluster_version`` stamp
+    lets consumers detect churn-stale features."""
     ids = cluster.node_ids if node_ids is None else node_ids
-    return HostFeatures(
+    features = HostFeatures(
         (node_id, _inference_cast(featurizer.host_features(
             cluster.node(node_id))))
         for node_id in ids)
+    features.cluster_version = getattr(cluster, "version", 0)
+    return features
 
 
 def build_graph(plan: QueryPlan, placement: Placement | None,
@@ -1073,7 +1085,11 @@ def _candidate_parts(plan_features: PlanFeatures) -> dict:
 
     Cached on the :class:`PlanFeatures`: per-operator type positions,
     per-level flow stage slices and the symmetric-neighborhood flow
-    groups, all in plan-local coordinates ready for tiling.
+    groups, all in plan-local coordinates ready for tiling.  Nothing
+    here depends on the cluster (churn audit): host identities enter
+    collation only through the per-call candidate matrix and
+    :meth:`HostFeatures.matrix`, so this cache stays valid across
+    cluster mutations and needs no version key.
     """
     cached = plan_features.__dict__.get("_cand_parts")
     if cached is not None:

@@ -11,6 +11,7 @@ from .exp6_benchmarks import run_benchmarks
 from .exp7_ablations import (run_capacity, run_ensemble_size,
                              run_featurization, run_loss_ablation,
                              run_message_passing)
+from .exp_churn import run_churn
 from .exp_headline import run_headline
 from .reporting import format_table
 from .scale import SCALES, ExperimentScale, get_scale
@@ -22,6 +23,6 @@ __all__ = [
     "run_interpolation", "EXTRAPOLATION_SETUPS", "run_extrapolation",
     "run_chains", "run_finetuning", "run_benchmarks", "run_capacity",
     "run_ensemble_size", "run_featurization", "run_loss_ablation",
-    "run_message_passing", "run_headline", "format_table", "SCALES",
-    "ExperimentScale", "get_scale",
+    "run_message_passing", "run_headline", "run_churn", "format_table",
+    "SCALES", "ExperimentScale", "get_scale",
 ]

@@ -17,11 +17,11 @@ import sys
 import time
 
 from . import (format_table, get_context, run_benchmarks, run_capacity,
-               run_chains, run_ensemble_size, run_extrapolation,
-               run_featurization, run_finetuning, run_hardware_groups,
-               run_headline, run_interpolation, run_loss_ablation,
-               run_message_passing, run_monitoring, run_overall,
-               run_query_types, run_speedups)
+               run_chains, run_churn, run_ensemble_size,
+               run_extrapolation, run_featurization, run_finetuning,
+               run_hardware_groups, run_headline, run_interpolation,
+               run_loss_ablation, run_message_passing, run_monitoring,
+               run_overall, run_query_types, run_speedups)
 
 _EXPERIMENTS = {
     "fig1": ("Fig. 1 — headline comparison (E2E-latency q50)",
@@ -44,6 +44,8 @@ _EXPERIMENTS = {
     "ensemble": ("Ablation — ensemble size", run_ensemble_size),
     "loss": ("Ablation — MSLE vs MSE", run_loss_ablation),
     "capacity": ("Ablation — hidden dimension", run_capacity),
+    "churn": ("Churn — incremental repair vs full re-placement",
+              run_churn),
 }
 
 

@@ -1,0 +1,105 @@
+"""Churn recovery — repair latency and recovery quality sweep.
+
+Not a paper artifact: the paper's evaluation is static.  This
+experiment measures what the churn-resilience layer (ROADMAP open
+item 4) adds on top of it: after a seeded host failure or degrade,
+how fast an *incremental* repair (pin the unaffected operators,
+re-enumerate only the repair set) reaches a new placement compared to
+a from-scratch re-placement, and how the repaired placement's
+predicted objective compares to the from-scratch optimum.  Replaying
+any sweep entry with the same seed yields bitwise-identical repair
+placements and objectives — the determinism oracle carried over from
+the fault-injection harness.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..config import default_workload_ranges
+from ..hardware.cluster import sample_cluster
+from ..placement.optimizer import PlacementOptimizer
+from ..placement.repair import PlacementRepairer
+from ..query.generator import QueryGenerator
+from .context import ExperimentContext
+
+__all__ = ["run_churn"]
+
+#: Degrade severity for the sweep (CPU and bandwidth factor).
+_DEGRADE_SEVERITY = 0.25
+
+
+def run_churn(context: ExperimentContext) -> list[dict]:
+    """Repair latency vs full re-placement + recovery quality.
+
+    One row per churn kind (``fail`` removes a used host, ``degrade``
+    weakens one): median wall time of the incremental repair and of a
+    from-scratch re-placement on the mutated cluster, the ratio of the
+    two, the median predicted-objective ratio (repaired / from-scratch
+    — 1.0 means the repair matched the full optimum, lower is better
+    for latency objectives), the median repair-set fraction, and
+    whether every repair replayed bitwise-identically.
+    """
+    scale = context.scale
+    rng = np.random.default_rng(context.seed + 31)
+    generator = QueryGenerator(default_workload_ranges(), seed=rng)
+    model = context.placement_model
+    optimizer = PlacementOptimizer(model)
+    repairer = PlacementRepairer(model)
+    n_queries = max(4, scale.queries_per_type)
+
+    rows: list[dict] = []
+    for kind in ("fail", "degrade"):
+        repair_s: list[float] = []
+        full_s: list[float] = []
+        quality: list[float] = []
+        repair_frac: list[float] = []
+        incremental = 0
+        deterministic = True
+        for q in range(n_queries):
+            plan = generator.generate()
+            cluster = sample_cluster(rng, int(rng.integers(6, 10)))
+            decision = optimizer.optimize(
+                plan, cluster, n_candidates=scale.n_candidates, seed=q)
+            target = decision.placement.used_nodes()[0]
+            if kind == "fail":
+                cluster.remove_node(target)
+            else:
+                cluster.degrade_node(target,
+                                     cpu_factor=_DEGRADE_SEVERITY,
+                                     bandwidth_factor=_DEGRADE_SEVERITY)
+            start = time.perf_counter()
+            outcome = repairer.repair(plan, cluster, decision.placement,
+                                      {target},
+                                      n_candidates=scale.n_candidates,
+                                      seed=q)
+            repair_s.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            scratch = optimizer.optimize(
+                plan, cluster, n_candidates=scale.n_candidates, seed=q)
+            full_s.append(time.perf_counter() - start)
+            replay = repairer.repair(plan, cluster, decision.placement,
+                                     {target},
+                                     n_candidates=scale.n_candidates,
+                                     seed=q)
+            deterministic &= (replay.placement == outcome.placement
+                              and replay.objective == outcome.objective)
+            quality.append(outcome.objective
+                           / max(scratch.predicted_objective, 1e-12))
+            repair_frac.append(len(outcome.repaired_ops) / len(plan))
+            incremental += int(not outcome.full_replacement)
+        rows.append({
+            "event": kind,
+            "queries": n_queries,
+            "incremental": incremental,
+            "repair_ms_q50": 1e3 * float(np.median(repair_s)),
+            "full_ms_q50": 1e3 * float(np.median(full_s)),
+            "repair_vs_full": (float(np.median(full_s))
+                               / max(float(np.median(repair_s)), 1e-12)),
+            "objective_ratio_q50": float(np.median(quality)),
+            "repair_set_frac_q50": float(np.median(repair_frac)),
+            "deterministic": deterministic,
+        })
+    return rows

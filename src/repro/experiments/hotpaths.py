@@ -40,10 +40,11 @@ from ..core.graph import (QueryGraph, batches_equal, build_graph,
 from ..core.training import CostModel, TrainingConfig
 from ..placement.enumeration import HeuristicPlacementEnumerator
 from ..placement.optimizer import PlacementOptimizer
+from ..placement.repair import PlacementRepairer
 from ..query.generator import QueryGenerator
 from ..query.plan import QueryPlan
-from ..serving import (DecisionBatcher, DecisionRequest, ServingLoop,
-                       WorkerPool)
+from ..serving import (ClusterMonitor, DecisionBatcher, DecisionRequest,
+                       ServingLoop, WorkerPool)
 from ..training import BatchSchedule, StackedTrainer
 from .scale import ExperimentScale, get_scale
 
@@ -495,9 +496,14 @@ def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
                                      objective="processing_latency"),
                      max_wave=max_wave, deadline_s=0.05,
                      max_queue=4 * n_requests) as loop:
+        # A monitor with no churn events: its counters must all stay
+        # at zero on this quiet run — the CI gate pins them, exactly
+        # like the pool's no-fault health counters.
+        monitor = ClusterMonitor(loop)
         served = loop.serve(requests)  # warm-up outside the clock
         service_s = _best_of(lambda: loop.serve(requests), repeats)
         service_stats = loop.stats.as_dict()
+        churn_health = monitor.health.as_dict()
     result["service"] = {
         "max_wave": max_wave,
         "deadline_s": 0.05,
@@ -508,8 +514,82 @@ def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
             and s.predicted_objective == b.predicted_objective
             for s, b in zip(served, batched_decisions))),
         "stats": service_stats,
+        "churn": churn_health,
     }
     return result
+
+
+def _bench_churn_repair(scale: ExperimentScale, repeats: int,
+                        n_events: int) -> dict:
+    """Incremental repair vs full re-placement after a host failure.
+
+    For every event, a placed query loses one of its hosts; the
+    incremental path pins the unaffected operators and re-enumerates
+    only the repair set, the full path re-places from scratch on the
+    mutated cluster.  Both score through the same index-native
+    collation/ensemble machinery, so the timing ratio isolates the
+    enumeration/collation work the pinning saves.  Repairs must be
+    bitwise deterministic under replay (the churn recovery oracle) and
+    must enumerate strictly fewer candidate rows than the full path in
+    aggregate — the perf gate checks both plus the entry's presence.
+    """
+    model = _throughput_model(scale)
+    optimizer = PlacementOptimizer(model, objective="processing_latency")
+    repairer = PlacementRepairer(model, objective="processing_latency")
+    rng = np.random.default_rng(43)
+    generator = QueryGenerator(seed=rng)
+    cases = []
+    for ordinal in range(n_events):
+        plan = generator.generate()
+        cluster = sample_cluster(rng, int(rng.integers(6, 10)))
+        decision = optimizer.optimize(plan, cluster,
+                                      n_candidates=scale.n_candidates,
+                                      seed=ordinal)
+        lost = decision.placement.used_nodes()[0]
+        cluster.remove_node(lost)
+        cases.append((plan, cluster, decision.placement, lost, ordinal))
+
+    def run_repairs():
+        return [repairer.repair(plan, cluster, placement, {lost},
+                                n_candidates=scale.n_candidates,
+                                seed=ordinal)
+                for plan, cluster, placement, lost, ordinal in cases]
+
+    def run_full():
+        return [optimizer.optimize(plan, cluster,
+                                   n_candidates=scale.n_candidates,
+                                   seed=ordinal)
+                for plan, cluster, placement, lost, ordinal in cases]
+
+    outcomes = run_repairs()  # warm-up outside the clock
+    replays = run_repairs()
+    deterministic = all(
+        replay.placement == outcome.placement
+        and replay.objective == outcome.objective
+        for replay, outcome in zip(replays, outcomes))
+    fulls = run_full()
+    repair_s, full_s = _interleaved(run_repairs, run_full, repeats)
+    repair_candidates = sum(o.candidates_enumerated for o in outcomes)
+    full_candidates = sum(f.candidates_evaluated for f in fulls)
+    return {
+        "n_events": n_events,
+        "n_candidates": scale.n_candidates,
+        "incremental": sum(int(not o.full_replacement)
+                           for o in outcomes),
+        "repair_s_per_event": repair_s / n_events,
+        "full_s_per_event": full_s / n_events,
+        "speedup": full_s / max(repair_s, 1e-12),
+        "repair_candidates": repair_candidates,
+        "full_candidates": full_candidates,
+        "fewer_candidates": bool(repair_candidates < full_candidates),
+        "objective_ratio_q50": float(np.median(
+            [o.objective / max(f.predicted_objective, 1e-12)
+             for o, f in zip(outcomes, fulls)])),
+        "repair_set_frac_q50": float(np.median(
+            [len(o.repaired_ops) / len(case[0])
+             for o, case in zip(outcomes, cases)])),
+        "deterministic": bool(deterministic),
+    }
 
 
 def _bench_candidate_collation(scale: ExperimentScale,
@@ -812,6 +892,9 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
     gc.collect()
     collation_result = _bench_candidate_collation(
         scale, repeats=max(sizes["repeats"] * 4, 10))
+    gc.collect()
+    churn_result = _bench_churn_repair(scale, repeats=sizes["repeats"],
+                                       n_events=sizes["plans"] + 1)
 
     collector = BenchmarkCollector(seed=seed)
     traces = collector.collect(sizes["corpus"])
@@ -844,7 +927,8 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
                            and collation_result["fields_equal"]
                            and collation_result["chosen_identical"]
                            and train_result["histories_equal"]
-                           and train_result["params_equal"])
+                           and train_result["params_equal"]
+                           and churn_result["deterministic"])
     float32_ok = (ensemble_result["float32_max_rel_delta"]
                   <= FLOAT32_TOLERANCE
                   and throughput_result["float32_max_rel_delta"]
@@ -857,6 +941,7 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
         "candidate_collation": collation_result,
         "placement_decision": decision_result,
         "decision_throughput": throughput_result,
+        "churn_repair": churn_result,
         "ensemble_batched": ensemble_result,
         "epoch": epoch_result,
         "ensemble_train": train_result,

@@ -1,5 +1,7 @@
 """Heterogeneous hardware, network and placement models."""
 
+from .churn import (CHURN_KINDS, ChurnEvent, ChurnPlan, ChurnRecord,
+                    ChurnTrace, apply_event)
 from .cluster import Cluster, sample_cluster
 from .network import NetworkLink, link_between
 from .node import HardwareNode, capability_bin, capability_score, sample_node
@@ -9,4 +11,6 @@ __all__ = [
     "Cluster", "sample_cluster", "NetworkLink", "link_between",
     "HardwareNode", "capability_bin", "capability_score", "sample_node",
     "Placement", "PlacementError", "IndexCandidates",
+    "ChurnEvent", "ChurnPlan", "ChurnRecord", "ChurnTrace",
+    "apply_event", "CHURN_KINDS",
 ]

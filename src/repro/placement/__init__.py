@@ -2,6 +2,8 @@
 
 from .enumeration import HeuristicPlacementEnumerator
 from .optimizer import PlacementDecision, PlacementOptimizer
+from .repair import PlacementRepairer, RepairOutcome, repair_set
 
 __all__ = ["HeuristicPlacementEnumerator", "PlacementDecision",
-           "PlacementOptimizer"]
+           "PlacementOptimizer", "PlacementRepairer", "RepairOutcome",
+           "repair_set"]

@@ -33,11 +33,16 @@ class HeuristicPlacementEnumerator:
         self._rng = (seed if isinstance(seed, np.random.Generator)
                      else np.random.default_rng(seed))
         # The capability tables are RNG-free pure functions of the
-        # cluster, and decision serving creates one enumerator per
-        # request — cache them on the cluster (default ranges only) so
-        # repeated decisions against one cluster skip the rebuild.
+        # cluster *at one version*, and decision serving creates one
+        # enumerator per request — cache them on the cluster (default
+        # ranges only), keyed on ``cluster.version`` so a mutated
+        # cluster (churn: add/remove/degrade) never serves
+        # pre-mutation capability bins.
+        version = getattr(cluster, "version", 0)
         tables = (cluster.__dict__.get("_enumeration_tables")
                   if ranges is None else None)
+        if tables is not None and tables[0] != version:
+            tables = None
         if tables is None:
             bins = cluster.bins(ranges)
             score = {n.node_id: capability_score(n, ranges)
@@ -46,12 +51,12 @@ class HeuristicPlacementEnumerator:
             # Bitmask tables for the sampling hot path: node i of
             # ``node_ids`` is bit ``1 << i``; visited sets become ints.
             node_ids = list(cluster.node_ids)
-            tables = (bins, score, strongest, node_ids,
+            tables = (version, bins, score, strongest, node_ids,
                       [bins[n] for n in node_ids],
                       node_ids.index(strongest))
             if ranges is None:
                 cluster.__dict__["_enumeration_tables"] = tables
-        (self._bins, self._score, self._strongest, self._node_ids,
+        (_, self._bins, self._score, self._strongest, self._node_ids,
          self._bin_list, self._strongest_index) = tables
 
     # ------------------------------------------------------------------
@@ -79,13 +84,22 @@ class HeuristicPlacementEnumerator:
         return np.fromiter(assignment.values(), dtype=np.int64,
                            count=len(assignment))
 
-    def _sample_indices(self, plan: QueryPlan,
-                        eligible_cache: dict) -> dict[str, int]:
+    def _sample_indices(self, plan: QueryPlan, eligible_cache: dict,
+                        pinned: dict[str, int] | None = None,
+                        caps: dict[str, int] | None = None
+                        ) -> dict[str, int]:
         """One candidate as op -> node-index (see :meth:`sample`).
 
         ``eligible_cache`` maps (min_bin, forbidden-mask) to the
         eligibility list — it is a pure function of that pair, so
         repeated samples of the same plan (``enumerate``) reuse it.
+
+        ``pinned`` fixes operators to node indices without an RNG draw
+        (incremental repair: only the repair set samples); ``caps``
+        optionally bounds a free operator's capability bin from above
+        (the bin of its weakest pinned child), pruning samples that the
+        pinned downstream assignment would invalidate.  The unpinned
+        path — eligibility sets and RNG draw sequence — is untouched.
         """
         node_ids = self._node_ids
         bins = self._bin_list
@@ -95,8 +109,19 @@ class HeuristicPlacementEnumerator:
         for op_id in plan.topological_order():
             parents = plan.parents(op_id)
             upstream = 0
+            pin = pinned.get(op_id) if pinned else None
+            if pin is not None:
+                for p in parents:
+                    upstream |= visited[p]
+                assignment[op_id] = pin
+                visited[op_id] = upstream | (1 << pin)
+                continue
+            cap = caps.get(op_id) if caps else None
             if not parents:
                 eligible = list(all_nodes)
+                if cap is not None:
+                    capped = [i for i in eligible if bins[i] <= cap]
+                    eligible = capped or eligible
             else:
                 min_bin = max(bins[assignment[p]] for p in parents)
                 # Forbidden: visited anywhere upstream except as the
@@ -106,21 +131,62 @@ class HeuristicPlacementEnumerator:
                     mask = visited[p]
                     upstream |= mask
                     forbidden |= mask & ~(1 << assignment[p])
-                eligible = eligible_cache.get((min_bin, forbidden))
+                key = ((min_bin, forbidden) if cap is None
+                       else (min_bin, forbidden, cap))
+                eligible = eligible_cache.get(key)
                 if eligible is None:
                     eligible = [i for i in all_nodes
                                 if bins[i] >= min_bin
                                 and not (forbidden >> i) & 1]
+                    if cap is not None:
+                        # Keep the uncapped set when the cap empties it:
+                        # the sample proceeds and post-validation drops
+                        # it (and, with every sample invalid, the
+                        # repair is reported infeasible).
+                        capped = [i for i in eligible if bins[i] <= cap]
+                        eligible = capped or eligible
                     if not eligible:
                         eligible = [self._strongest_index]
-                    eligible_cache[(min_bin, forbidden)] = eligible
+                    eligible_cache[key] = eligible
             choice = eligible[self._rng.integers(len(eligible))]
             assignment[op_id] = choice
             visited[op_id] = upstream | (1 << choice)
         return assignment
 
+    def is_valid_assignment(self, plan: QueryPlan,
+                            assignment: dict[str, int]) -> bool:
+        """Check one index assignment against the Fig. 5 rules.
+
+        Replays the sampling rules with the choices fixed: increasing
+        capability bins along every edge, and per-branch acyclicity
+        (a node may only be revisited as the direct predecessor's
+        co-location).  Pinned-repair sampling needs this post-check —
+        pinned operators never had their eligibility evaluated.
+        """
+        bins = self._bin_list
+        visited: dict[str, int] = {}
+        for op_id in plan.topological_order():
+            choice = assignment[op_id]
+            parents = plan.parents(op_id)
+            upstream = 0
+            if parents:
+                min_bin = max(bins[assignment[p]] for p in parents)
+                if bins[choice] < min_bin:
+                    return False
+                forbidden = 0
+                for p in parents:
+                    mask = visited[p]
+                    upstream |= mask
+                    forbidden |= mask & ~(1 << assignment[p])
+                if (forbidden >> choice) & 1:
+                    return False
+            visited[op_id] = upstream | (1 << choice)
+        return True
+
     def enumerate_indices(self, plan: QueryPlan, k: int,
-                          max_attempts_factor: int = 10
+                          max_attempts_factor: int = 10,
+                          pinned: dict[str, int] | None = None,
+                          require_valid: bool = False
                           ) -> IndexCandidates:
         """Up to ``k`` distinct candidates as an index-array matrix.
 
@@ -131,20 +197,47 @@ class HeuristicPlacementEnumerator:
         matrix — string :class:`Placement` views materialize lazily.
         RNG draw order and dedup semantics are identical to
         :meth:`enumerate`.
+
+        ``pinned`` fixes operators to node indices (no RNG draw) so
+        incremental repair samples only its repair set;
+        ``require_valid`` additionally drops rows that violate the
+        Fig. 5 rules (see :meth:`is_valid_assignment`) — with heavy
+        pinning a sampled row can be rule-invalid because pinned
+        operators skip eligibility.  May return zero rows then: no
+        feasible repair under this pinning.
         """
         op_ids = tuple(plan.topological_order())
+        caps: dict[str, int] | None = None
+        if pinned:
+            # Bound each free operator by its weakest pinned child so
+            # most samples already respect the pinned downstream bins.
+            bins = self._bin_list
+            caps = {}
+            for op_id in op_ids:
+                if op_id in pinned:
+                    continue
+                child_bins = [bins[pinned[c]] for c in plan.children(op_id)
+                              if c in pinned]
+                if child_bins:
+                    caps[op_id] = min(child_bins)
         rows: list[tuple[int, ...]] = []
         seen: set[tuple[int, ...]] = set()
         eligible_cache: dict = {}
         attempts = 0
         while len(rows) < k and attempts < k * max_attempts_factor:
             attempts += 1
-            key = tuple(self._sample_indices(plan, eligible_cache).values())
+            assignment = self._sample_indices(plan, eligible_cache,
+                                              pinned, caps)
+            key = tuple(assignment.values())
             if key not in seen:
                 seen.add(key)
+                if require_valid and not self.is_valid_assignment(
+                        plan, assignment):
+                    continue
                 rows.append(key)
-        return IndexCandidates(np.asarray(rows, dtype=np.int64),
-                               op_ids, tuple(self._node_ids))
+        matrix = (np.asarray(rows, dtype=np.int64) if rows
+                  else np.empty((0, len(op_ids)), dtype=np.int64))
+        return IndexCandidates(matrix, op_ids, tuple(self._node_ids))
 
     def enumerate(self, plan: QueryPlan, k: int,
                   max_attempts_factor: int = 10) -> list[Placement]:

@@ -27,6 +27,7 @@ from .batcher import DecisionBatcher, DecisionRequest
 from .faults import (FAULT_KINDS, CorruptShard, DegradedModeReport,
                      FaultInjector, FaultPlan, FaultSpec, PoolHealth,
                      ShardTimeout, WorkerCrash)
+from .monitor import ChurnHealth, ClusterMonitor, Deployment
 from .pool import WorkerPool, sharded_loss_and_grad
 from .service import BackpressureError, ServiceStats, ServingLoop
 
@@ -35,4 +36,5 @@ __all__ = ["DecisionBatcher", "DecisionRequest", "WorkerPool",
            "FaultSpec", "FaultPlan", "FaultInjector", "PoolHealth",
            "DegradedModeReport", "WorkerCrash", "ShardTimeout",
            "CorruptShard", "FAULT_KINDS",
-           "ServingLoop", "ServiceStats", "BackpressureError"]
+           "ServingLoop", "ServiceStats", "BackpressureError",
+           "ClusterMonitor", "ChurnHealth", "Deployment"]

@@ -128,12 +128,16 @@ class DecisionBatcher:
         arrays.
         """
         model = self.model
-        host_cache: dict[int, dict[str, np.ndarray]] = {}
+        host_cache: dict[tuple, dict[str, np.ndarray]] = {}
         batches = []
         for request, cands in zip(requests, candidates):
             host_features = None
             if model.featurizer.mode != "query_only":
-                key = id(request.cluster)
+                # Keyed on (cluster, version): clusters mutate under
+                # churn, and a degrade keeps ids — identity alone
+                # would serve pre-mutation host features.
+                key = (id(request.cluster),
+                       getattr(request.cluster, "version", 0))
                 host_features = host_cache.get(key)
                 if host_features is None:
                     host_features = featurize_hosts(request.cluster,

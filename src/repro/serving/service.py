@@ -40,13 +40,18 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 if TYPE_CHECKING:
     from ..placement.optimizer import PlacementDecision
     from .batcher import DecisionBatcher, DecisionRequest
 
 __all__ = ["ServingLoop", "ServiceStats", "BackpressureError"]
+
+#: Retained per-request latency samples (FIFO; bounds long-lived loops).
+_LATENCY_WINDOW = 65536
 
 
 class BackpressureError(RuntimeError):
@@ -55,7 +60,13 @@ class BackpressureError(RuntimeError):
 
 @dataclass
 class ServiceStats:
-    """Per-loop admission and wave-formation counters."""
+    """Per-loop admission and wave-formation counters.
+
+    Per-request wall latencies (submit -> decision delivered) are
+    recorded per wave into a bounded window; :meth:`latency_percentiles`
+    summarizes them as p50/p95/p99 — the nightly perf gate budgets the
+    p99, not just the mean speedup.
+    """
 
     submitted: int = 0       # requests admitted to the queue
     rejected: int = 0        # requests refused by backpressure
@@ -65,9 +76,33 @@ class ServiceStats:
     full_waves: int = 0      # dispatched because the wave filled
     deadline_waves: int = 0  # dispatched because the deadline expired
     max_queue_depth: int = 0
+    latencies_s: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW),
+        repr=False, compare=False)
+
+    def record_latencies(self, seconds: Iterable[float]) -> None:
+        """Record one wave's per-request wall latencies."""
+        self.latencies_s.extend(seconds)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of the recorded wall latencies, in ms."""
+        if not self.latencies_s:
+            return {"latency_p50_ms": 0.0, "latency_p95_ms": 0.0,
+                    "latency_p99_ms": 0.0}
+        samples = np.fromiter(self.latencies_s, dtype=np.float64)
+        p50, p95, p99 = np.percentile(samples, (50.0, 95.0, 99.0))
+        return {"latency_p50_ms": float(p50) * 1e3,
+                "latency_p95_ms": float(p95) * 1e3,
+                "latency_p99_ms": float(p99) * 1e3}
 
     def as_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        """JSON-safe snapshot: counters plus latency percentiles."""
+        counters = {f.name: getattr(self, f.name)
+                    for f in dataclasses.fields(self)
+                    if f.name != "latencies_s"}
+        counters["latency_count"] = len(self.latencies_s)
+        counters.update(self.latency_percentiles())
+        return counters
 
 
 @dataclass
@@ -97,6 +132,9 @@ class ServingLoop:
         self.deadline_s = float(deadline_s)
         self.max_queue = int(max_queue)
         self.stats = ServiceStats()
+        #: Set by an attached :class:`~repro.serving.monitor.
+        #: ClusterMonitor`; merged into :meth:`health_snapshot`.
+        self.churn_health = None
         self._queue: deque[_Entry] = deque()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)   # dispatcher waits
@@ -190,18 +228,23 @@ class ServingLoop:
                 for entry in wave:
                     entry.future.set_exception(error)
             else:
+                done = time.monotonic()
                 with self._lock:
                     self.stats.served += len(wave)
+                    self.stats.record_latencies(
+                        done - entry.arrival for entry in wave)
                 for entry, decision in zip(wave, decisions):
                     entry.future.set_result(decision)
 
     # ------------------------------------------------------------------
     def health_snapshot(self) -> dict:
-        """Loop stats merged with the pool's health counters."""
+        """Loop stats merged with the pool's and churn health counters."""
         snapshot = {"service": self.stats.as_dict()}
         pool = getattr(self.batcher, "pool", None)
         if pool is not None:
             snapshot["pool"] = pool.health.as_dict()
+        if self.churn_health is not None:
+            snapshot["churn"] = self.churn_health.as_dict()
         return snapshot
 
     def close(self) -> None:

@@ -637,6 +637,160 @@ class TestServingLoop:
             ServingLoop(DecisionBatcher(model), max_wave=8, max_queue=4)
 
 
+class TestServiceLatencyStats:
+    def test_empty_percentiles_are_zero(self):
+        from repro.serving.service import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.latency_percentiles() == {
+            "latency_p50_ms": 0.0, "latency_p95_ms": 0.0,
+            "latency_p99_ms": 0.0}
+        snapshot = stats.as_dict()
+        assert snapshot["latency_count"] == 0
+        assert "latencies_s" not in snapshot
+
+    def test_percentiles_match_numpy(self):
+        from repro.serving.service import ServiceStats
+
+        stats = ServiceStats()
+        samples = [0.001, 0.002, 0.004, 0.008, 0.016]
+        stats.record_latencies(samples)
+        p50, p95, p99 = np.percentile(np.asarray(samples),
+                                      (50.0, 95.0, 99.0))
+        percentiles = stats.latency_percentiles()
+        assert percentiles["latency_p50_ms"] == p50 * 1e3
+        assert percentiles["latency_p95_ms"] == p95 * 1e3
+        assert percentiles["latency_p99_ms"] == p99 * 1e3
+        assert stats.as_dict()["latency_count"] == 5
+
+    def test_window_is_bounded(self):
+        from repro.serving.service import _LATENCY_WINDOW, ServiceStats
+
+        stats = ServiceStats()
+        stats.record_latencies([0.0] * (_LATENCY_WINDOW + 10))
+        assert len(stats.latencies_s) == _LATENCY_WINDOW
+
+    def test_loop_records_one_latency_per_served_request(self):
+        model = _model()
+        requests = _requests(6, seed=101)
+        with ServingLoop(DecisionBatcher(model), max_wave=3,
+                         deadline_s=0.005, max_queue=16) as loop:
+            loop.serve(requests)
+        stats = loop.stats
+        assert len(stats.latencies_s) == stats.served == 6
+        percentiles = stats.latency_percentiles()
+        assert 0.0 < percentiles["latency_p50_ms"] \
+            <= percentiles["latency_p95_ms"] \
+            <= percentiles["latency_p99_ms"]
+        snapshot = loop.health_snapshot()["service"]
+        assert snapshot["latency_p99_ms"] \
+            == percentiles["latency_p99_ms"]
+
+
+class TestConcurrentSubmitters:
+    """Many producer threads against one loop: no response may be
+    lost or duplicated, and every decision must equal the per-request
+    reference regardless of how the waves chunked the race."""
+
+    @pytest.mark.parametrize("deadline_s", [0.002, 60.0])
+    def test_no_lost_or_duplicated_responses(self, deadline_s):
+        import threading
+
+        model = _model()
+        requests = _requests(12, seed=103)
+        reference = DecisionBatcher(model).decide(requests)
+        with ServingLoop(DecisionBatcher(model), max_wave=4,
+                         deadline_s=deadline_s, max_queue=64) as loop:
+            futures: dict[int, object] = {}
+            lock = threading.Lock()
+
+            def producer(indices):
+                for index in indices:
+                    future = loop.submit(requests[index], block=True)
+                    with lock:
+                        assert index not in futures
+                        futures[index] = future
+
+            threads = [threading.Thread(target=producer,
+                                        args=(range(start, 12, 3),))
+                       for start in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            decisions = [futures[index].result(timeout=30)
+                         for index in range(12)]
+        assert loop.stats.submitted == loop.stats.served == 12
+        assert loop.stats.rejected == loop.stats.failed == 0
+        assert len(loop.stats.latencies_s) == 12
+        _assert_decisions_equal(decisions, reference)
+
+    def test_backpressure_accounting_under_contention(self):
+        import threading
+        import time as time_module
+
+        model = _model()
+        requests = _requests(10, seed=107)
+        reference = DecisionBatcher(model).decide(requests)
+        gate = threading.Event()
+        inner = DecisionBatcher(model)
+
+        class GatedBatcher:
+            pool = None
+
+            def decide(self, wave):
+                gate.wait(timeout=30)
+                return inner.decide(wave)
+
+        loop = ServingLoop(GatedBatcher(), max_wave=1,
+                           deadline_s=60.0, max_queue=3)
+        accepted: dict[int, object] = {}
+        rejections = []
+        lock = threading.Lock()
+        try:
+            first = loop.submit(requests[0])
+            # Wait until the dispatcher holds request 0 at the gate so
+            # the queue capacity is exactly max_queue for the race.
+            deadline = time_module.monotonic() + 30
+            while loop.stats.waves < 1:
+                assert time_module.monotonic() < deadline
+                time_module.sleep(0.001)
+
+            def producer(indices):
+                for index in indices:
+                    try:
+                        future = loop.submit(requests[index])
+                    except BackpressureError:
+                        with lock:
+                            rejections.append(index)
+                    else:
+                        with lock:
+                            accepted[index] = future
+
+            threads = [threading.Thread(target=producer,
+                                        args=(range(start, 10, 3),))
+                       for start in range(1, 4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            gate.set()
+            loop.close()
+        # Everything admitted was served; everything else was counted
+        # as rejected — nothing lost, nothing double-counted.
+        assert len(accepted) <= 3
+        assert len(accepted) + len(rejections) == 9
+        assert loop.stats.rejected == len(rejections)
+        assert loop.stats.submitted == len(accepted) + 1
+        assert loop.stats.served == len(accepted) + 1
+        _assert_decisions_equal([first.result(timeout=30)],
+                                [reference[0]])
+        for index, future in accepted.items():
+            _assert_decisions_equal([future.result(timeout=30)],
+                                    [reference[index]])
+
+
 class TestPooledTraining:
     def _data(self):
         from repro.core.dataset import GraphDataset
