@@ -98,6 +98,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{stats['latency_p99_ms']:.1f} ms, matches direct "
               f"dispatch: {service['decisions_match']}, churn "
               f"counters quiet: {churn_quiet})")
+    backend = results["backend"]
+    print(f"backend:   {backend['speedup']:6.2f}x wave under "
+          f"{backend['backend']} vs default numpy "
+          f"(applied: {backend['threads_applied']}, "
+          f"{backend['cpu_count']} cpu, "
+          f"rel delta {backend['max_rel_delta']:.1e}, "
+          f"decisions agree: {backend['decisions_agree']})")
     churn = results["churn_repair"]
     print(f"churn:     {churn['speedup']:6.2f}x incremental repair vs "
           f"full re-placement ({1e3 * churn['repair_s_per_event']:.1f} "

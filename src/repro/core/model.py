@@ -593,16 +593,66 @@ class TrainableMemberStack(MemberStack):
                 input_grad=False)
         return losses
 
+    def forward_members(self, batch: GraphBatch) -> np.ndarray:
+        """Forward-only stacked pass over the *training* plan buffers.
+
+        The forward half of :meth:`loss_and_grad` without the caches —
+        used for the per-epoch validation forward, so validation never
+        round-trips through the inference :class:`MemberStack` (whose
+        member-tiled ``size * E * width`` flat indexes a training run
+        has no other use for).  Every kernel is the one
+        :meth:`MemberStack.forward_arrays` runs per member (same
+        stacked GEMMs, per-member bincount over the same flat index,
+        same segmented readout), so the ``(K, n_graphs)`` outputs are
+        bitwise identical to the inference stack's.
+        """
+        size = self.size
+        hidden_dim = self.hidden_dim
+        n_nodes = batch.n_nodes
+        hidden = np.zeros((size * n_nodes, hidden_dim))
+        hidden3 = hidden.reshape(size, n_nodes, hidden_dim)
+        for node_type, rows in batch.member_type_rows(size).items():
+            hidden[rows] = self.encoders[node_type].forward_array(
+                batch.type_features[node_type]).reshape(-1, hidden_dim)
+        combiners = self.combiners
+        for entry in batch.member_train_plan(size):
+            node_type, stage, recv, src, _ = entry
+            n_recv = stage.recv_rows.size
+            if src is not None:
+                messages = hidden[src].reshape(size, -1, hidden_dim)
+                flat_seg = stage.flat_seg(hidden_dim)
+                aggregated = np.empty((size, n_recv, hidden_dim))
+                for k in range(size):
+                    aggregated[k] = _flat_scatter_add(
+                        flat_seg, messages[k], n_recv)
+            else:
+                aggregated = np.zeros((size, n_recv, hidden_dim))
+            own = hidden[recv].reshape(size, n_recv, hidden_dim)
+            combined = np.concatenate([aggregated, own], axis=-1)
+            hidden[recv] = combiners[node_type].forward_array(
+                combined).reshape(-1, hidden_dim)
+        flat_gid = batch.flat_graph_id(hidden_dim)
+        pooled = np.empty((size, batch.n_graphs, hidden_dim))
+        for k in range(size):
+            pooled[k] = _flat_scatter_add(flat_gid, hidden3[k],
+                                          batch.n_graphs)
+        return _segmented_readout(self.readout, pooled,
+                                  batch.readout_segments, axis=1)
+
     def loss_over_batches(self, pairs, loss_kind: str) -> np.ndarray:
         """``(K,)`` mean losses over pre-collated ``(batch, labels)``
         pairs — the stacked mirror of
         :meth:`~repro.core.training.CostModel._loss_over_batches`
         (same per-batch loss values, same graph-count-weighted
-        accumulation order per member)."""
+        accumulation order per member).  Runs :meth:`forward_members`
+        (the training-plan buffers, bitwise equal to the inference
+        stack's forward), so per-epoch validation shares the training
+        batch caches instead of building inference-stack indexes.
+        """
         total = np.zeros(self.size)
         count = 0
         for batch, chunk_labels in pairs:
-            raw = self.forward_arrays(batch).reshape(self.size, -1)
+            raw = self.forward_members(batch).reshape(self.size, -1)
             for member in range(self.size):
                 loss, _ = _loss_and_grad_arrays(raw[member],
                                                 chunk_labels, loss_kind)

@@ -30,6 +30,7 @@ from ..data.collection import BenchmarkCollector
 from ..hardware.cluster import Cluster, sample_cluster
 from ..nn import Adam, clip_grad_norm, float32_inference
 from ..nn.autodiff import legacy_kernels
+from ..nn.backend import ThreadedBlasBackend, compute_backend
 from ..core.costream import Costream
 from ..core.dataset import GraphDataset
 from ..core.ensemble import MetricEnsemble
@@ -519,6 +520,73 @@ def _bench_decision_throughput(scale: ExperimentScale, repeats: int,
     return result
 
 
+def _bench_backend(scale: ExperimentScale, repeats: int,
+                   n_requests: int) -> dict:
+    """Opt-in threaded-BLAS backend vs the default numpy kernels.
+
+    Runs the same mega-batched decision wave once per backend: the
+    default backend (bitwise-pinned numpy — its deltas are already
+    gated to 0.0 by the other entries) and the opt-in
+    ``threads:N`` :class:`repro.nn.backend.ThreadedBlasBackend`, which
+    carries its own documented tolerance.  The threaded wave must stay
+    within that tolerance of the default wave at the per-candidate
+    objective level and never flip a chosen placement.  The speedup
+    floor is parity-ish by default: on a single-core runner threading
+    cannot win (``cpu_count`` is recorded so the number can be read in
+    context); the >= 2x wave target applies to multi-core builds.
+    """
+    import os
+
+    model = _throughput_model(scale)
+    batcher = DecisionBatcher(model, objective="processing_latency")
+    requests = _throughput_requests(scale, n_requests)
+    candidates = [batcher._candidates_for(request)
+                  for request in requests]
+
+    default_values, default_feasible, _ = batcher.score_wave(requests,
+                                                             candidates)
+    default_decisions = batcher.decide(requests)
+
+    threads = max(2, min(4, os.cpu_count() or 1))
+    backend = ThreadedBlasBackend(threads)
+    with compute_backend(backend):
+        batcher.decide(requests)  # warm the threaded pool, off-clock
+        threaded_values, threaded_feasible, _ = batcher.score_wave(
+            requests, candidates)
+        threaded_decisions = batcher.decide(requests)
+    rel_delta = float(np.max(np.abs(threaded_values - default_values)
+                             / (np.abs(default_values) + 1e-9)))
+    agree = bool(
+        np.array_equal(threaded_feasible, default_feasible)
+        and all(threaded.placement == default.placement
+                for threaded, default in zip(threaded_decisions,
+                                             default_decisions)))
+
+    def run_threaded():
+        with compute_backend(backend):
+            batcher.decide(requests)
+
+    batcher.decide(requests)  # warm default path, off-clock
+    threaded_s, default_s = _interleaved(
+        run_threaded, lambda: batcher.decide(requests), repeats)
+    return {
+        "backend": backend.name,
+        "threads": threads,
+        "effective_threads": int(backend.effective_threads),
+        "threads_applied": bool(backend.threads_applied),
+        "cpu_count": int(os.cpu_count() or 1),
+        "n_requests": n_requests,
+        "threaded_s_per_decision": threaded_s / n_requests,
+        "default_s_per_decision": default_s / n_requests,
+        "speedup": default_s / max(threaded_s, 1e-12),
+        "max_rel_delta": rel_delta,
+        "tolerance": backend.tolerance,
+        "decisions_agree": agree,
+        "within_tolerance": bool(rel_delta <= backend.tolerance
+                                 and agree),
+    }
+
+
 def _bench_churn_repair(scale: ExperimentScale, repeats: int,
                         n_events: int) -> dict:
     """Incremental repair vs full re-placement after a host failure.
@@ -890,6 +958,10 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
         scale, repeats=sizes["repeats"] + 3, n_requests=sizes["wave"],
         pool_size=pool_size)
     gc.collect()
+    backend_result = _bench_backend(scale,
+                                    repeats=sizes["repeats"] + 3,
+                                    n_requests=sizes["wave"])
+    gc.collect()
     collation_result = _bench_candidate_collation(
         scale, repeats=max(sizes["repeats"] * 4, 10))
     gc.collect()
@@ -941,6 +1013,7 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
         "candidate_collation": collation_result,
         "placement_decision": decision_result,
         "decision_throughput": throughput_result,
+        "backend": backend_result,
         "churn_repair": churn_result,
         "ensemble_batched": ensemble_result,
         "epoch": epoch_result,
@@ -955,7 +1028,8 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
             "float32_tolerance": FLOAT32_TOLERANCE,
             "pass": bool(max_delta <= EQUIVALENCE_TOLERANCE
                          and decisions_agree
-                         and float32_ok),
+                         and float32_ok
+                         and backend_result["within_tolerance"]),
         },
         # The floors the nightly gate enforces at small scale.  The
         # decision-throughput floor is parity: the wave's amortization
@@ -973,6 +1047,11 @@ def run_hotpath_benchmarks(scale_name: str | None = None,
             # PERFORMANCE.md training section), floored with noise
             # headroom like the decision-wave entry.
             "ensemble_train_speedup": 1.3,
+            # Parity-ish floor for the opt-in threaded backend: on a
+            # single-core runner the extra BLAS threads can only lose
+            # a little to scheduling overhead; the >= 2x wave target
+            # applies to multi-core builds (PERFORMANCE.md section 17).
+            "backend_wave_speedup": 0.7,
         },
     }
 

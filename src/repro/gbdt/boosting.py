@@ -32,9 +32,11 @@ class _BoostingBase:
         self.trees_: list[RegressionTree] = []
         self.binner_: FeatureBinner | None = None
         self.base_score_: float = 0.0
+        self._forest_: tuple | None = None
 
     def _boost(self, features: np.ndarray, grad_hess) -> None:
         """Shared fitting loop; ``grad_hess(pred)`` yields (g, h)."""
+        self._forest_ = None
         rng = np.random.default_rng(self.random_state)
         self.binner_ = FeatureBinner(self.max_bins).fit(features)
         binned = self.binner_.transform(features)
@@ -53,7 +55,70 @@ class _BoostingBase:
             prediction += self.learning_rate * tree.predict(binned)
             self.trees_.append(tree)
 
+    def _packed_forest(self) -> tuple:
+        """All trees' flat node arrays packed into one forest.
+
+        Node ids are offset per tree so every (tree, row) pair can walk
+        the shared arrays simultaneously; ``roots`` holds each tree's
+        root node id.  Rebuilt lazily after every fit.
+        """
+        forest = getattr(self, "_forest_", None)
+        if forest is None:
+            trees = self.trees_
+            offsets = np.cumsum([0] + [tree._value.size
+                                       for tree in trees])
+            feature = np.concatenate([t._feature for t in trees])
+            threshold = np.concatenate([t._threshold for t in trees])
+            value = np.concatenate([t._value for t in trees])
+            left = np.concatenate(
+                [np.where(t._left >= 0, t._left + off, -1)
+                 for t, off in zip(trees, offsets)])
+            right = np.concatenate(
+                [np.where(t._right >= 0, t._right + off, -1)
+                 for t, off in zip(trees, offsets)])
+            forest = (feature, threshold, left, right, value,
+                      offsets[:-1])
+            self._forest_ = forest
+        return forest
+
     def _raw_predict(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized batch predict: every (tree, row) pair walks the
+        packed forest at once, then the per-tree leaf contributions
+        accumulate in the exact tree order of the sequential loop — so
+        predictions are bitwise identical to
+        :meth:`_raw_predict_reference` (same per-node comparisons, same
+        float addition order), with ``max_depth`` array steps total
+        instead of ``max_depth * n_estimators``.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("model is not fitted")
+        binned = self.binner_.transform(np.asarray(features,
+                                                   dtype=np.float64))
+        n = binned.shape[0]
+        n_trees = len(self.trees_)
+        prediction = np.full(n, self.base_score_, dtype=np.float64)
+        if n_trees == 0 or n == 0:
+            return prediction
+        feature, threshold, left, right, value, roots = \
+            self._packed_forest()
+        node = np.repeat(roots, n)
+        rows = np.tile(np.arange(n), n_trees)
+        active = left[node] != -1
+        while active.any():
+            idx = np.nonzero(active)[0]
+            current = node[idx]
+            go_left = binned[rows[idx], feature[current]] \
+                <= threshold[current]
+            node[idx] = np.where(go_left, left[current], right[current])
+            # Leaves are absorbing: only still-active walkers can leave.
+            active[idx] = left[node[idx]] != -1
+        leaves = value[node].reshape(n_trees, n)
+        for k in range(n_trees):
+            prediction += self.learning_rate * leaves[k]
+        return prediction
+
+    def _raw_predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """The per-tree predict loop (retained bitwise reference)."""
         if self.binner_ is None:
             raise RuntimeError("model is not fitted")
         binned = self.binner_.transform(np.asarray(features,

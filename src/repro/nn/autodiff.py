@@ -19,6 +19,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .backend import active_backend
+
 __all__ = ["Tensor", "concat", "gather", "gather_segment_sum",
            "scatter_rows", "segment_sum", "stack", "no_grad",
            "is_grad_enabled", "legacy_kernels", "float32_inference",
@@ -123,12 +125,10 @@ def flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
     :func:`_scatter_add`, minus the per-call index construction — the
     index is cached by the caller (see ``StageSlice.flat_seg``).
     ``np.bincount`` accumulates in float64 whatever the input dtype, so
-    float32 callers cast the result back themselves.
+    float32 callers cast the result back themselves.  Dispatches to the
+    active compute backend (the default backend *is* this kernel).
     """
-    width = values.shape[-1]
-    out = np.bincount(flat_index, weights=values.ravel(),
-                      minlength=n_rows * width)
-    return out.reshape(n_rows, width)
+    return active_backend().flat_scatter_add(flat_index, values, n_rows)
 
 
 def stacked_flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
@@ -143,10 +143,8 @@ def stacked_flat_scatter_add(flat_index: np.ndarray, values: np.ndarray,
     every ``out[k]`` is bitwise identical to :func:`flat_scatter_add`
     over ``values[k]``.
     """
-    size, _, width = values.shape
-    out = np.bincount(flat_index, weights=values.reshape(-1),
-                      minlength=size * n_rows * width)
-    return out.reshape(size, n_rows, width)
+    return active_backend().stacked_flat_scatter_add(flat_index, values,
+                                                     n_rows)
 
 
 def _scatter_add(index: np.ndarray, values: np.ndarray,
@@ -164,15 +162,7 @@ def _scatter_add(index: np.ndarray, values: np.ndarray,
         out = np.zeros((n_rows,) + values.shape[1:], dtype=np.float64)
         np.add.at(out, index, values)
         return out
-    if values.ndim == 1:
-        return np.bincount(index, weights=values, minlength=n_rows)
-    flat = values.reshape(values.shape[0], -1)
-    width = flat.shape[1]
-    flat_index = (index[:, None] * width
-                  + np.arange(width, dtype=np.int64)).ravel()
-    out = np.bincount(flat_index, weights=flat.ravel(),
-                      minlength=n_rows * width)
-    return out.reshape((n_rows,) + values.shape[1:])
+    return active_backend().scatter_add(index, values, n_rows)
 
 
 def _as_array(value) -> np.ndarray:
@@ -358,11 +348,12 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        out_data = self.data @ other.data
+        out_data = active_backend().matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad @ other.data.T)
-            other._accumulate(self.data.T @ grad)
+            kernel = active_backend()
+            self._accumulate(kernel.matmul(grad, other.data.T))
+            other._accumulate(kernel.matmul(self.data.T, grad))
 
         return Tensor._make(out_data, (self, other), backward)
 

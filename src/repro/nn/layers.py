@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from .autodiff import Tensor, _legacy_kernels_enabled, _unbroadcast
+from .backend import active_backend
 from . import init
 
 __all__ = ["Module", "Linear", "MLP", "Dropout", "StackedMLP"]
@@ -103,18 +104,20 @@ class Linear(Module):
         # the matmul and add ops would have produced, so values and
         # gradients are bitwise identical to the unfused path.
         weight, bias = self.weight, self.bias
-        out_data = x.data @ weight.data + bias.data
+        out_data = active_backend().affine(x.data, weight.data, bias.data)
 
         def backward(grad):
-            x._accumulate(grad @ weight.data.T)
-            weight._accumulate(x.data.T @ grad)
+            kernel = active_backend()
+            x._accumulate(kernel.matmul(grad, weight.data.T))
+            weight._accumulate(kernel.matmul(x.data.T, grad))
             bias._accumulate(_unbroadcast(grad, bias.shape))
 
         return Tensor._make(out_data, (x, weight, bias), backward)
 
     def forward_array(self, x):
         """Inference-only fast path on a raw ndarray (same arithmetic)."""
-        return x @ self.weight.data + self.bias.data
+        return active_backend().affine(x, self.weight.data,
+                                       self.bias.data)
 
 
 class Dropout(Module):
@@ -195,25 +198,20 @@ class MLP(Module):
         skipping the per-op Tensor/closure bookkeeping.
         """
         layers = self.layers
-        activations = [x.data]
-        masks = []
-        h = x.data
-        for i, layer in enumerate(layers):
-            h = h @ layer.weight.data + layer.bias.data
-            if i < len(layers) - 1:
-                mask = h > 0.0
-                h = h * mask
-                masks.append(mask)
-                activations.append(h)
-        out_data = h
+        out_data, (activations, masks) = active_backend() \
+            .mlp_forward_cached([layer.weight.data for layer in layers],
+                                [layer.bias.data for layer in layers],
+                                x.data)
 
         def backward(grad):
+            kernel = active_backend()
             g = grad
             for i in range(len(layers) - 1, -1, -1):
                 layer = layers[i]
-                layer.weight._accumulate(activations[i].T @ g)
+                layer.weight._accumulate(
+                    kernel.matmul(activations[i].T, g))
                 layer.bias._accumulate(_unbroadcast(g, layer.bias.shape))
-                g = g @ layer.weight.data.T
+                g = kernel.matmul(g, layer.weight.data.T)
                 if i > 0:
                     g = g * masks[i - 1]
             x._accumulate(g)
@@ -229,27 +227,17 @@ class MLP(Module):
         objects.  Matches :meth:`forward` in eval mode bit for bit
         (``x * (x > 0)`` is the exact relu expression the Tensor op
         uses); dropout is identity in eval mode so it is skipped."""
-        layers = self.layers
-        last = len(layers) - 1
-        for i, layer in enumerate(layers):
-            x = x @ layer.weight.data + layer.bias.data
-            if i < last:
-                x = x * (x > 0.0)
-        return x
+        return active_backend().mlp_forward(
+            [layer.weight.data for layer in self.layers],
+            [layer.bias.data for layer in self.layers], x)
 
     def forward_array_cached(self, x):
         """Like :meth:`forward_array`, returning the cache the manual
         backward needs (layer inputs and relu masks)."""
-        activations = [x]
-        masks = []
-        for i, layer in enumerate(self.layers):
-            x = x @ layer.weight.data + layer.bias.data
-            if i < len(self.layers) - 1:
-                mask = x > 0.0
-                x = x * mask
-                masks.append(mask)
-                activations.append(x)
-        return x, (activations, masks)
+        out, cache = active_backend().mlp_forward_cached(
+            [layer.weight.data for layer in self.layers],
+            [layer.bias.data for layer in self.layers], x)
+        return out, cache
 
     @property
     def layer_shapes(self) -> tuple[tuple[int, int], ...]:
@@ -265,15 +253,17 @@ class MLP(Module):
         copy, then ``+=``, like the tape) and returns the input
         gradient, or ``None`` with ``input_grad=False`` (encoder inputs
         are leaves, so their gradient GEMM can be skipped)."""
+        kernel = active_backend()
         activations, masks = cache
         g = grad
         for i in range(len(self.layers) - 1, -1, -1):
             layer = self.layers[i]
-            _accumulate_array(layer.weight, activations[i].T @ g)
+            _accumulate_array(layer.weight,
+                              kernel.matmul(activations[i].T, g))
             _accumulate_array(layer.bias, _unbroadcast(g, layer.bias.shape))
             if i == 0 and not input_grad:
                 return None
-            g = g @ layer.weight.data.T
+            g = kernel.matmul(g, layer.weight.data.T)
             if i > 0:
                 g = g * masks[i - 1]
         return g
@@ -342,13 +332,7 @@ class StackedMLP:
         path uses.  Callers pass ``x`` already in :attr:`dtype` —
         mixing dtypes would silently upcast the GEMM to float64.
         """
-        last = len(self.weights) - 1
-        for i, (weight, bias) in enumerate(zip(self.weights,
-                                               self.biases)):
-            x = np.matmul(x, weight) + bias
-            if i < last:
-                x = x * (x > 0.0)
-        return x
+        return active_backend().mlp_forward(self.weights, self.biases, x)
 
     # ------------------------------------------------------------------
     # Trainable stacks (the K-member batched training step)
@@ -389,18 +373,8 @@ class StackedMLP:
         :meth:`MLP.forward_array_cached` (same kernels per ``(n, d)``
         slice, so activations and masks are bitwise identical per
         member)."""
-        activations = [x]
-        masks = []
-        last = len(self.weights) - 1
-        for i, (weight, bias) in enumerate(zip(self.weights,
-                                               self.biases)):
-            x = np.matmul(x, weight) + bias
-            if i < last:
-                mask = x > 0.0
-                x = x * mask
-                masks.append(mask)
-                activations.append(x)
-        return x, (activations, masks)
+        return active_backend().mlp_forward_cached(self.weights,
+                                                   self.biases, x)
 
     def backward_array(self, grad, cache, input_grad: bool = True):
         """Stacked manual backward matching :meth:`MLP.backward_array`
@@ -418,17 +392,19 @@ class StackedMLP:
         Gradients accumulate into the trainable Tensors; the input
         gradient is returned, or ``None`` with ``input_grad=False``.
         """
+        kernel = active_backend()
         activations, masks = cache
         g = grad
         for i in range(len(self.weights) - 1, -1, -1):
             act = activations[i]
             act_t = act.transpose(0, 2, 1) if act.ndim == 3 else act.T
-            _accumulate_array(self.weight_params[i], np.matmul(act_t, g))
+            _accumulate_array(self.weight_params[i],
+                              kernel.matmul(act_t, g))
             _accumulate_array(self.bias_params[i],
                               g.sum(axis=1, keepdims=True))
             if i == 0 and not input_grad:
                 return None
-            g = np.matmul(g, self.weights[i].transpose(0, 2, 1))
+            g = kernel.matmul(g, self.weights[i].transpose(0, 2, 1))
             if i > 0:
                 g = g * masks[i - 1]
         return g

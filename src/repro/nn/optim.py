@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from .autodiff import Tensor
+from .backend import active_backend
 
 __all__ = ["SGD", "Adam", "StackedAdam", "clip_grad_norm",
            "stacked_clip_grad_norm"]
@@ -14,10 +15,11 @@ __all__ = ["SGD", "Adam", "StackedAdam", "clip_grad_norm",
 
 def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= max_norm."""
+    kernel = active_backend()
     total = 0.0
     for param in params:
         if param.grad is not None:
-            total += float((param.grad ** 2).sum())
+            total += kernel.sumsq(param.grad)
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
@@ -68,10 +70,11 @@ def stacked_clip_grad_norm(params: Sequence[Tensor], max_norm: float,
     and scaled gradients are bitwise identical to clipping the members
     one at a time.  Returns the ``(size,)`` pre-clip norms.
     """
+    kernel = active_backend()
     totals = np.zeros(size)
     for param in params:
         if param.grad is not None:
-            totals += (param.grad ** 2).reshape(size, -1).sum(axis=1)
+            totals += kernel.member_sumsq(param.grad, size)
     norms = np.sqrt(totals)
     clip = (norms > max_norm) & (norms > 0.0)
     if clip.any():
@@ -106,28 +109,14 @@ class Adam:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
+        kernel = active_backend()
         for param, m, v, s1, s2 in zip(self.params, self._m, self._v,
                                        self._s1, self._s2):
             if param.grad is None:
                 continue
-            grad = param.grad
-            m *= self.beta1
-            np.multiply(grad, 1.0 - self.beta1, out=s1)
-            m += s1
-            v *= self.beta2
-            np.multiply(grad, grad, out=s1)
-            s1 *= 1.0 - self.beta2
-            v += s1
-            np.divide(m, bias1, out=s1)          # m_hat
-            np.divide(v, bias2, out=s2)          # v_hat
-            np.sqrt(s2, out=s2)
-            s2 += self.eps
-            np.divide(s1, s2, out=s1)            # update
-            if self.weight_decay:
-                np.multiply(param.data, self.weight_decay, out=s2)
-                s1 += s2
-            s1 *= self.lr
-            param.data -= s1
+            kernel.adam_update(param.data, param.grad, m, v, s1, s2,
+                               self.beta1, self.beta2, bias1, bias2,
+                               self.eps, self.lr, self.weight_decay)
 
     def zero_grad(self) -> None:
         for param in self.params:

@@ -73,6 +73,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from ..nn import autodiff
+from ..nn.backend import active_backend_spec, compute_backend
 from .faults import (CorruptShard, DegradedModeReport, FaultInjector,
                      PoolHealth, ShardTimeout, apply_worker_fault,
                      corrupt_grad_shard, corrupt_wave_shard,
@@ -231,23 +232,26 @@ def _sync_worker_model(token: int) -> object:
 
 
 def _wave_shard(token: int, requests: list, dtype_str: str,
-                fault=None) -> list:
+                backend_spec: str = "numpy", fault=None) -> list:
     """Worker entry point: serve one shard of a wave serially.
 
     ``dtype_str`` carries the parent's active inference dtype: the
     :class:`repro.nn.float32_inference` context is a per-process
     global, so without it a forked worker would keep whatever dtype
     was active at fork time and pooled waves would diverge from the
-    serial path.  ``fault`` is an injected
+    serial path.  ``backend_spec`` forwards the parent's active
+    compute backend the same way (the :class:`repro.nn.compute_backend`
+    selection is also per-process).  ``fault`` is an injected
     :class:`~repro.serving.faults.FaultSpec` (chaos tests only).
     """
     batcher = _sync_worker_model(token)
     previous = autodiff._INFERENCE_DTYPE[0]
     autodiff._INFERENCE_DTYPE[0] = np.dtype(dtype_str)
     try:
-        return apply_worker_fault(
-            fault, lambda: batcher.decide_serial(requests),
-            corrupt_wave_shard)
+        with compute_backend(backend_spec):
+            return apply_worker_fault(
+                fault, lambda: batcher.decide_serial(requests),
+                corrupt_wave_shard)
     finally:
         autodiff._INFERENCE_DTYPE[0] = previous
 
@@ -258,7 +262,8 @@ def _network_spec(network: "CostreamGNN") -> tuple:
 
 
 def _grad_shard(token: int, spec: tuple, batch: "GraphBatch",
-                labels: np.ndarray, loss_kind: str, fault=None
+                labels: np.ndarray, loss_kind: str,
+                backend_spec: str = "numpy", fault=None
                 ) -> tuple[float, list[np.ndarray], int]:
     """Worker entry point: one shard's (loss, parameter grads, size).
 
@@ -287,7 +292,8 @@ def _grad_shard(token: int, spec: tuple, batch: "GraphBatch",
         return (loss, [param.grad for param in network.parameters()],
                 batch.n_graphs)
 
-    return apply_worker_fault(fault, compute, corrupt_grad_shard)
+    with compute_backend(backend_spec):
+        return apply_worker_fault(fault, compute, corrupt_grad_shard)
 
 
 def _validate_wave_shard(result, requests) -> None:
@@ -573,10 +579,12 @@ class WorkerPool:
         shards = self.shard_indices(len(requests))
         payloads = [[requests[i] for i in shard] for shard in shards]
         dtype_str = autodiff.inference_dtype().str
+        backend_spec = active_backend_spec()
 
         def submit(payload, fault):
             return self._executor.submit(_wave_shard, self._token,
-                                         payload, dtype_str, fault)
+                                         payload, dtype_str,
+                                         backend_spec, fault)
 
         def compute(payload, fault):
             return run_with_fault(
@@ -661,11 +669,13 @@ class WorkerPool:
         if not self.serial:
             self._ensure_grad_workers(network, spec)
 
+        backend_spec = active_backend_spec()
+
         def submit(payload, fault):
             batch, labels = payload
             return self._executor.submit(_grad_shard, self._token,
                                          spec, batch, labels,
-                                         loss_kind, fault)
+                                         loss_kind, backend_spec, fault)
 
         def compute(payload, fault):
             return run_with_fault(

@@ -1,0 +1,256 @@
+"""Tests for the pluggable compute backend (repro.nn.backend).
+
+The contract: the default backend's kernels ARE the pre-dispatch numpy
+expressions (bitwise), the opt-in threaded backend stays within its
+documented tolerance of the reference path (bitwise on OpenBLAS
+builds), and selection composes with the other per-process contexts
+(``float32_inference``) and survives nesting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import backend as backend_mod
+from repro.nn.backend import (ComputeBackend, ThreadedBlasBackend,
+                              active_backend, active_backend_spec,
+                              compute_backend, resolve_backend)
+
+# The nightly backend lane sets REPRO_BACKEND, which replaces the
+# process default; tests that assert on the *resting* spec compare
+# against whatever this process booted with.
+_RESTING_SPEC = os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+
+
+@pytest.fixture
+def arrays(rng):
+    a = rng.standard_normal((16, 9))
+    b = rng.standard_normal((9, 7))
+    stacked_a = rng.standard_normal((3, 16, 9))
+    stacked_b = rng.standard_normal((3, 9, 7))
+    return a, b, stacked_a, stacked_b
+
+
+class TestDefaultKernels:
+    """The default backend is the bitwise-pinned reference."""
+
+    @pytest.mark.skipif(bool(os.environ.get("REPRO_BACKEND")),
+                        reason="process default overridden by "
+                               "REPRO_BACKEND")
+    def test_default_is_numpy_with_zero_tolerance(self):
+        assert active_backend_spec() == "numpy"
+        assert active_backend().tolerance == 0.0
+
+    def test_matmul_2d_and_3d(self, arrays):
+        a, b, sa, sb = arrays
+        kernel = active_backend()
+        np.testing.assert_array_equal(kernel.matmul(a, b), a @ b)
+        np.testing.assert_array_equal(kernel.matmul(sa, sb),
+                                      np.matmul(sa, sb))
+
+    def test_affine(self, arrays, rng):
+        a, b, _, _ = arrays
+        bias = rng.standard_normal(7)
+        np.testing.assert_array_equal(
+            active_backend().affine(a, b, bias), a @ b + bias)
+
+    def test_mlp_forward_matches_expression(self, arrays, rng):
+        a, _, _, _ = arrays
+        weights = [rng.standard_normal((9, 11)),
+                   rng.standard_normal((11, 4))]
+        biases = [rng.standard_normal(11), rng.standard_normal(4)]
+        x = a
+        for i, (w, bias) in enumerate(zip(weights, biases)):
+            x = x @ w + bias
+            if i < len(weights) - 1:
+                x = x * (x > 0.0)
+        out = active_backend().mlp_forward(weights, biases, a)
+        np.testing.assert_array_equal(out, x)
+        cached_out, (activations, masks) = \
+            active_backend().mlp_forward_cached(weights, biases, a)
+        np.testing.assert_array_equal(cached_out, x)
+        assert len(activations) == 2 and len(masks) == 1
+
+    def test_scatter_add_matches_add_at(self, rng):
+        kernel = active_backend()
+        index = rng.integers(0, 6, size=40)
+        values = rng.standard_normal((40, 5))
+        reference = np.zeros((6, 5))
+        np.add.at(reference, index, values)
+        np.testing.assert_array_equal(
+            kernel.scatter_add(index, values, 6), reference)
+        flat = (index[:, None] * 5
+                + np.arange(5, dtype=np.int64)).ravel()
+        np.testing.assert_array_equal(
+            kernel.flat_scatter_add(flat, values, 6), reference)
+
+    def test_stacked_flat_scatter_add_per_member(self, rng):
+        kernel = active_backend()
+        size, n_rows, width = 3, 6, 5
+        index = rng.integers(0, n_rows, size=40)
+        values = rng.standard_normal((size, 40, width))
+        flat = (index[:, None] * width
+                + np.arange(width, dtype=np.int64)).ravel()
+        tiled = np.concatenate([flat + k * n_rows * width
+                                for k in range(size)])
+        out = kernel.stacked_flat_scatter_add(tiled, values, n_rows)
+        for k in range(size):
+            np.testing.assert_array_equal(
+                out[k], kernel.flat_scatter_add(flat, values[k], n_rows))
+
+
+class TestResolution:
+    def test_resolve_specs(self):
+        assert resolve_backend("numpy") is resolve_backend(None)
+        assert resolve_backend("") is resolve_backend("default")
+        threaded = resolve_backend("threads:3")
+        assert isinstance(threaded, ThreadedBlasBackend)
+        assert threaded.threads == 3
+        assert threaded.name == "threads:3"
+        assert resolve_backend(threaded) is threaded
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_backend("bogus")
+        with pytest.raises(ValueError):
+            resolve_backend("threads:x")
+        with pytest.raises(ValueError):
+            ThreadedBlasBackend(0)
+
+
+class TestContextNesting:
+    def test_nesting_restores_previous(self):
+        assert active_backend_spec() == _RESTING_SPEC
+        with compute_backend("threads:2"):
+            assert active_backend_spec() == "threads:2"
+            with compute_backend("numpy"):
+                assert active_backend_spec() == "numpy"
+            assert active_backend_spec() == "threads:2"
+        assert active_backend_spec() == _RESTING_SPEC
+
+    def test_composes_with_float32_inference(self):
+        with nn.float32_inference():
+            with compute_backend("threads:2"):
+                assert nn.inference_dtype() == np.float32
+                assert active_backend_spec() == "threads:2"
+            assert nn.inference_dtype() == np.float32
+            assert active_backend_spec() == _RESTING_SPEC
+        with compute_backend("threads:2"):
+            with nn.float32_inference():
+                assert active_backend_spec() == "threads:2"
+            assert nn.inference_dtype() == np.float64
+        assert active_backend_spec() == _RESTING_SPEC
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with compute_backend("threads:2"):
+                raise RuntimeError("boom")
+        assert active_backend_spec() == _RESTING_SPEC
+
+
+class TestThreadedBackend:
+    def test_kernels_within_tolerance(self, arrays):
+        a, b, sa, sb = arrays
+        reference = active_backend()
+        with compute_backend("threads:2") as threaded:
+            assert threaded.tolerance > 0.0
+            np.testing.assert_allclose(threaded.matmul(a, b),
+                                       reference.matmul(a, b),
+                                       rtol=threaded.tolerance, atol=0.0)
+            np.testing.assert_allclose(threaded.matmul(sa, sb),
+                                       reference.matmul(sa, sb),
+                                       rtol=threaded.tolerance, atol=0.0)
+
+    def test_thread_count_restored(self):
+        control = backend_mod._blas_thread_control()
+        if control is None:
+            pytest.skip("no controllable BLAS loaded")
+        before = int(control[1]())
+        with compute_backend("threads:2") as threaded:
+            # The applied count is capped at the physical core count —
+            # oversubscribed BLAS threads spin, they don't idle.
+            assert threaded.effective_threads == min(
+                2, os.cpu_count() or 1)
+            if threaded.threads_applied:
+                assert int(control[1]()) == threaded.effective_threads
+        assert int(control[1]()) == before
+
+
+class TestRoutedCallSites:
+    """The NN layers actually dispatch through the active backend."""
+
+    def test_mlp_forward_array_uses_backend(self, rng):
+        mlp = nn.MLP(6, [8], 2, np.random.default_rng(0))
+        x = rng.standard_normal((5, 6))
+        with compute_backend("numpy"):
+            baseline = mlp.forward_array(x)
+
+        class Doubling(ComputeBackend):
+            name = "doubling"
+
+            def mlp_forward(self, weights, biases, data):
+                return 2.0 * super().mlp_forward(weights, biases, data)
+
+        with compute_backend(Doubling()):
+            np.testing.assert_array_equal(mlp.forward_array(x),
+                                          2.0 * baseline)
+        with compute_backend("numpy"):
+            np.testing.assert_array_equal(mlp.forward_array(x), baseline)
+
+    def test_taped_forward_backward_bitwise_under_threads(self, rng):
+        mlp_a = nn.MLP(6, [8], 2, np.random.default_rng(1))
+        mlp_b = nn.MLP(6, [8], 2, np.random.default_rng(1))
+        x = rng.standard_normal((5, 6))
+        out_a = mlp_a(nn.Tensor(x, requires_grad=True))
+        out_a.sum().backward()
+        with compute_backend("threads:2") as threaded:
+            out_b = mlp_b(nn.Tensor(x, requires_grad=True))
+            out_b.sum().backward()
+        np.testing.assert_allclose(out_b.data, out_a.data,
+                                   rtol=threaded.tolerance, atol=0.0)
+        for pa, pb in zip(mlp_a.parameters(), mlp_b.parameters()):
+            np.testing.assert_allclose(pb.grad, pa.grad,
+                                       rtol=threaded.tolerance,
+                                       atol=1e-12)
+
+    def test_adam_step_bitwise_under_threads(self, rng):
+        grads = rng.standard_normal((4, 4))
+        param_a = nn.Tensor(rng.standard_normal((4, 4)),
+                            requires_grad=True)
+        param_b = nn.Tensor(param_a.data.copy(), requires_grad=True)
+        opt_a = nn.Adam([param_a], lr=1e-2, weight_decay=1e-4)
+        opt_b = nn.Adam([param_b], lr=1e-2, weight_decay=1e-4)
+        for _ in range(3):
+            param_a.grad = grads.copy()
+            param_b.grad = grads.copy()
+            opt_a.step()
+            with compute_backend("threads:2"):
+                opt_b.step()   # elementwise kernels: bitwise either way
+        np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_clip_grad_norm_dispatches(self, rng):
+        param = nn.Tensor(rng.standard_normal((3, 3)),
+                          requires_grad=True)
+        param.grad = rng.standard_normal((3, 3))
+        expected = float(np.sqrt((param.grad ** 2).sum()))
+        with compute_backend("threads:2"):
+            norm = nn.clip_grad_norm([param], max_norm=1e9)
+        assert norm == expected
+
+    def test_env_var_selects_backend(self):
+        import subprocess
+        import sys
+        code = ("from repro.nn import active_backend_spec; "
+                "print(active_backend_spec())")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True,
+            text=True, env={"PYTHONPATH": "src",
+                            "REPRO_BACKEND": "threads:2",
+                            "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent))
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "threads:2"

@@ -138,3 +138,48 @@ def test_regressor_never_worse_than_mean_by_much(n, d):
     mse_model = np.mean((model.predict(x) - y) ** 2)
     mse_mean = np.mean((y - y.mean()) ** 2)
     assert mse_model <= mse_mean * 1.05
+
+
+class TestBatchPredict:
+    """The packed-forest batch predict is bitwise identical to the
+    retained per-tree loop (``_raw_predict_reference``)."""
+
+    def _fitted(self, rng, **kwargs):
+        x = rng.uniform(-2, 2, size=(500, 4))
+        y = np.sin(x[:, 0]) * 3 + x[:, 1] * x[:, 2]
+        return GradientBoostingRegressor(**kwargs).fit(x, y), rng
+
+    def test_regressor_bitwise(self, rng):
+        model, rng = self._fitted(rng, n_estimators=60, max_depth=4)
+        for n in (1, 17, 300):
+            x = rng.uniform(-3, 3, size=(n, 4))
+            np.testing.assert_array_equal(
+                model._raw_predict(x),
+                model._raw_predict_reference(x))
+
+    def test_classifier_bitwise(self, rng):
+        x = rng.normal(size=(400, 3))
+        labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = GradientBoostingClassifier(n_estimators=40,
+                                           max_depth=3).fit(x, labels)
+        held_out = rng.normal(size=(50, 3))
+        np.testing.assert_array_equal(
+            model._raw_predict(held_out),
+            model._raw_predict_reference(held_out))
+
+    def test_forest_cache_invalidated_on_refit(self, rng):
+        model, rng = self._fitted(rng, n_estimators=10)
+        x = rng.uniform(-2, 2, size=(20, 4))
+        first = model._raw_predict(x)
+        assert model._forest_ is not None
+        y2 = rng.normal(size=500)
+        model.fit(rng.uniform(-2, 2, size=(500, 4)), y2)
+        second = model._raw_predict(x)
+        np.testing.assert_array_equal(
+            second, model._raw_predict_reference(x))
+        assert not np.array_equal(first, second)
+
+    def test_empty_rows(self, rng):
+        model, _ = self._fitted(rng, n_estimators=5)
+        out = model._raw_predict(np.empty((0, 4)))
+        assert out.shape == (0,)

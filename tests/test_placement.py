@@ -136,3 +136,67 @@ def _paths(plan):
     for source in plan.sources:
         walk(source, [])
     return paths
+
+
+class TestBatchedDrawEquivalence:
+    """The run-batched RNG draws in ``_sample_indices`` are bitwise
+    identical to the per-op draw loop (``_sample_indices_seq``)."""
+
+    def _plans(self):
+        from repro.query.generator import QueryGenerator
+
+        return QueryGenerator(seed=7).generate_many(10)
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_samples_and_rng_state_match(self, small_cluster, seed):
+        batched = HeuristicPlacementEnumerator(small_cluster, seed=seed)
+        sequential = HeuristicPlacementEnumerator(small_cluster,
+                                                  seed=seed)
+        for plan in self._plans():
+            for _ in range(4):
+                assert (batched._sample_indices(plan, {})
+                        == sequential._sample_indices_seq(plan, {}))
+        # The array draws consume the exact random stream of the
+        # scalar draws, so the generators stay in lockstep throughout.
+        assert (batched._rng.bit_generator.state
+                == sequential._rng.bit_generator.state)
+
+    def test_enumerate_indices_unchanged(self, small_cluster):
+        import numpy as np
+
+        batched = HeuristicPlacementEnumerator(small_cluster, seed=5)
+        sequential = HeuristicPlacementEnumerator(small_cluster, seed=5)
+        sequential._sample_indices = sequential._sample_indices_seq
+        for plan in self._plans():
+            fast = batched.enumerate_indices(plan, 12)
+            slow = sequential.enumerate_indices(plan, 12)
+            np.testing.assert_array_equal(fast.assignment,
+                                          slow.assignment)
+            assert fast.op_ids == slow.op_ids
+
+    def test_pinned_path_uses_sequential_loop(self, small_cluster,
+                                              join_plan):
+        """Repair's pinned/caps sampling stays on the per-op loop."""
+        enumerator = HeuristicPlacementEnumerator(small_cluster, seed=1)
+        calls = []
+        original = enumerator._sample_indices_seq
+
+        def spy(plan, cache, pinned=None, caps=None):
+            calls.append((pinned, caps))
+            return original(plan, cache, pinned, caps)
+
+        enumerator._sample_indices_seq = spy
+        pinned = {join_plan.topological_order()[0]: 0}
+        enumerator.enumerate_indices(join_plan, 4, pinned=pinned,
+                                     require_valid=True)
+        assert calls and all(p for p, _ in calls)
+
+    def test_draw_runs_cover_order_without_parent_conflicts(
+            self, small_cluster, join_plan):
+        runs = HeuristicPlacementEnumerator._draw_runs(join_plan)
+        flat = [op for run in runs for op in run]
+        assert flat == list(join_plan.topological_order())
+        for run in runs:
+            members = set(run)
+            for op in run:
+                assert not (set(join_plan.parents(op)) & members)

@@ -379,3 +379,42 @@ class TestTrainableMemberStack:
         stacked_losses = stack.loss_over_batches(pairs, "msle")
         for k, member in enumerate(members):
             assert stacked_losses[k] == member._loss_over_batches(pairs)
+
+
+class TestFoldedValidationForward:
+    """``forward_members`` (the training-plan validation forward) is
+    bitwise identical to the inference ``MemberStack`` forward."""
+
+    @pytest.mark.parametrize("metric", ["throughput", "success"])
+    def test_matches_inference_stack(self, corpus_data, metric):
+        from repro.core.model import MemberStack
+        from repro.core.training import paired_batches
+
+        graphs, labels = corpus_data.metric_view(metric)
+        config = TrainingConfig(hidden_dim=12)
+        members = _members(metric, config, size=3)
+        networks = [m.network for m in members]
+        trainable = TrainableMemberStack(networks)
+        inference = MemberStack(networks, dtype=np.float64)
+        for batch, _ in paired_batches(graphs[:48], labels[:48], 16):
+            np.testing.assert_array_equal(
+                trainable.forward_members(batch),
+                inference.forward_arrays(batch))
+
+    def test_loss_over_batches_uses_training_plan(self, corpus_data):
+        """Validation batches should build the (cheap) training-plan
+        caches, not the member-tiled inference indexes."""
+        from repro.core.training import paired_batches
+
+        graphs, labels = corpus_data.metric_view("throughput")
+        config = TrainingConfig(hidden_dim=12)
+        members = _members("throughput", config, size=2)
+        stack = TrainableMemberStack([m.network for m in members])
+        pairs = paired_batches(graphs[:32], labels[:32], 16)
+        stack.loss_over_batches(pairs, "msle")
+        for batch, _ in pairs:
+            # The training-plan caches were built...
+            assert "_member_train_plan" in batch.__dict__
+            # ...and the member-tiled inference indexes were not.
+            assert "_member_plan" not in batch.__dict__
+            assert "_member_flat_gid" not in batch.__dict__
